@@ -1,0 +1,14 @@
+"""Ablation — edge-key layout (paper §IV-B storage claim).
+
+"Since we usually iterate edges by type, storing all the edges of one vertex
+together based on their type will provide better performance for such
+behavior" — compares the paper's grouped layout against an interleaved
+(generic column-store) layout on the heterogeneous Darshan graph.
+"""
+
+from repro.bench.experiments import exp_ablation_layout
+
+
+def test_ablation_edge_layout(benchmark, report_experiment):
+    result = benchmark.pedantic(lambda: exp_ablation_layout(), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

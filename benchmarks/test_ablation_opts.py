@@ -1,0 +1,14 @@
+"""Ablation — each §V optimization in isolation (beyond the paper's tables).
+
+Attributes GraphTrek's win over Async-GT to its mechanisms: the
+traversal-affiliate cache, execution merging, and priority scheduling.
+"""
+
+from repro.bench.experiments import exp_ablation_optimizations
+
+
+def test_ablation_async_optimizations(benchmark, env, report_experiment):
+    result = benchmark.pedantic(
+        lambda: exp_ablation_optimizations(env), rounds=1, iterations=1
+    )
+    report_experiment(result, benchmark)

@@ -1,0 +1,16 @@
+"""Ablation — partitioning strategy (paper §VI discussion).
+
+Compares hash edge-cut (the paper's default) against a degree-aware balanced
+edge-cut, and reports the greedy vertex-cut's replication factor. The check
+encodes the paper's position: even the best static balancing leaves
+stragglers, so asynchrony still wins.
+"""
+
+from repro.bench.experiments import exp_ablation_partitioning
+
+
+def test_ablation_partitioning(benchmark, env, report_experiment):
+    result = benchmark.pedantic(
+        lambda: exp_ablation_partitioning(env), rounds=1, iterations=1
+    )
+    report_experiment(result, benchmark)

@@ -1,0 +1,17 @@
+"""Concurrent-workload experiment (paper §I motivation).
+
+"As an online database system, our system needs to support concurrent graph
+traversals. The interferences among traversals easily create stragglers,
+which can cause poor resource utilization and significant idling during each
+global synchronization." — this bench isolates that claim: several 8-step
+traversals at once, Sync-GT vs GraphTrek.
+"""
+
+from repro.bench.experiments import exp_concurrent_traversals
+
+
+def test_concurrent_traversal_interference(benchmark, env, report_experiment):
+    result = benchmark.pedantic(
+        lambda: exp_concurrent_traversals(env), rounds=1, iterations=1
+    )
+    report_experiment(result, benchmark)

@@ -1,0 +1,12 @@
+"""Fig. 10 — 8-step graph traversal on RMAT-1 (Sync-GT vs GraphTrek).
+
+Paper: "with an 8-step graph traversal, the performance improvement over 32
+servers was around 24%, compared with the 5% improvement over 2 servers."
+"""
+
+from repro.bench.experiments import exp_step_sweep
+
+
+def test_fig10_8step_traversal(benchmark, env, report_experiment):
+    result = benchmark.pedantic(lambda: exp_step_sweep(8, env), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

@@ -1,0 +1,14 @@
+"""Fig. 11 — synthetic workload with external interference.
+
+Paper: three transient stragglers (fixed per-access delays) at steps 1, 3 and
+7 on three selected servers; "the results suggest an obvious performance
+advantage of GraphTrek (2x with 32-server) compared with synchronous
+solutions". Each bar is the average of three runs.
+"""
+
+from repro.bench.experiments import exp_fig11
+
+
+def test_fig11_external_stragglers(benchmark, env, report_experiment):
+    result = benchmark.pedantic(lambda: exp_fig11(env), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

@@ -1,0 +1,14 @@
+"""Fig. 7 — per-server visit statistics of an 8-step GraphTrek traversal.
+
+The paper's claims: redundant visits (caught by the traversal-affiliate
+cache) dominate the requests servers receive, and execution merging is
+concentrated on the servers storing the high-degree vertices, which "end up
+with fewer real vertex requests and hence can catch up".
+"""
+
+from repro.bench.experiments import exp_fig7
+
+
+def test_fig7_visit_breakdown(benchmark, env, report_experiment):
+    result = benchmark.pedantic(lambda: exp_fig7(env), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

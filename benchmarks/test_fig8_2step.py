@@ -1,0 +1,13 @@
+"""Fig. 8 — 2-step graph traversal on RMAT-1 (Sync-GT vs GraphTrek).
+
+Paper: "for graph traversals with smaller steps and fewer servers, the
+synchronous implementation actually performs better ... GraphTrek's relative
+performance improves when more servers are involved."
+"""
+
+from repro.bench.experiments import exp_step_sweep
+
+
+def test_fig8_2step_traversal(benchmark, env, report_experiment):
+    result = benchmark.pedantic(lambda: exp_step_sweep(2, env), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

@@ -1,0 +1,8 @@
+"""Fig. 9 — 4-step graph traversal on RMAT-1 (Sync-GT vs GraphTrek)."""
+
+from repro.bench.experiments import exp_step_sweep
+
+
+def test_fig9_4step_traversal(benchmark, env, report_experiment):
+    result = benchmark.pedantic(lambda: exp_step_sweep(4, env), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

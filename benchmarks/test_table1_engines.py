@@ -1,0 +1,22 @@
+"""Table I — performance comparison on the RMAT-1 graph.
+
+Paper numbers (seconds, 8-step traversal):
+
+    servers   Sync-GT   Async-GT   GraphTrek
+        2       47.8      63.7       45.2
+        4       28.5      33.1       22.5
+        8       17.1      20.6       13.4
+       16       10.3      12.1        8.3
+       32        7.2       7.4        5.6
+
+Our graph is scaled down (REPRO_BENCH_SCALE, default 2^12 vertices), so
+absolute numbers differ; the shape checks assert who wins and how the gaps
+move with scale.
+"""
+
+from repro.bench.experiments import exp_table1
+
+
+def test_table1_engine_comparison(benchmark, env, report_experiment):
+    result = benchmark.pedantic(lambda: exp_table1(env), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

@@ -1,0 +1,15 @@
+"""Table III — the suspicious-user audit query on the Darshan-like graph.
+
+Paper (32 servers): Sync-GT 3575 ms, Async-GT 4159 ms, GraphTrek 2839 ms.
+The query is the paper's 6-step chain::
+
+    GTravel.v(suspectUser).e('run').ea('ts', RANGE, [ts, te])
+           .e('hasExecutions').e('write').e('readBy').e('write').rtn()
+"""
+
+from repro.bench.experiments import exp_table3
+
+
+def test_table3_darshan_audit_query(benchmark, report_experiment):
+    result = benchmark.pedantic(lambda: exp_table3(32), rounds=1, iterations=1)
+    report_experiment(result, benchmark)

@@ -1,0 +1,61 @@
+"""Standalone experiment runner: regenerate the paper's evaluation section.
+
+Usage::
+
+    python -m repro.bench                 # every table and figure
+    python -m repro.bench table1 fig11    # a subset
+    REPRO_BENCH_SCALE=14 python -m repro.bench table1
+
+Prints the paper-style tables and writes JSON to benchmarks/results/.
+Exit code 1 if any shape check fails.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import experiments as exp
+from repro.bench.harness import BenchEnvironment, save_results
+from repro.bench.report import banner
+
+EXPERIMENTS = {
+    "table1": lambda env: exp.exp_table1(env),
+    "fig7": lambda env: exp.exp_fig7(env),
+    "fig8": lambda env: exp.exp_step_sweep(2, env),
+    "fig9": lambda env: exp.exp_step_sweep(4, env),
+    "fig10": lambda env: exp.exp_step_sweep(8, env),
+    "fig11": lambda env: exp.exp_fig11(env),
+    "table2": lambda env: exp.exp_table2(),
+    "table3": lambda env: exp.exp_table3(),
+    "concurrent": lambda env: exp.exp_concurrent_traversals(env),
+    "ablation_opts": lambda env: exp.exp_ablation_optimizations(env),
+    "ablation_partition": lambda env: exp.exp_ablation_partitioning(env),
+    "ablation_layout": lambda env: exp.exp_ablation_layout(),
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
+        return 2
+    env = BenchEnvironment.from_env()
+    print(f"environment: scale={env.scale} edge_factor={env.edge_factor} "
+          f"servers={env.servers}")
+    any_failed = False
+    for name in names:
+        print(banner(name))
+        result = EXPERIMENTS[name](env)
+        print(result.rendered)
+        for check in result.checks:
+            status = "PASS" if check.passed else "FAIL"
+            print(f"  [{status}] {check.name}: {check.detail}")
+            any_failed |= not check.passed
+        path = save_results(result.experiment, result.payload())
+        print(f"  results -> {path}")
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

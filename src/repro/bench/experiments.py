@@ -1,0 +1,582 @@
+"""Per-table/figure experiment definitions (see DESIGN.md §4).
+
+Each ``exp_*`` function runs one paper experiment end to end and returns an
+:class:`ExperimentResult` carrying the measured cells, a rendered paper-style
+report, and the shape checks the paper's claims imply. Benchmarks assert the
+checks; EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.bench import harness, report
+from repro.bench.harness import BenchEnvironment, Cell, cell_lookup
+from repro.cluster import paper_interference
+from repro.engine import EngineKind, ReferenceEngine
+from repro.graph import in_degree_stats, out_degree_stats
+from repro.workloads import PAPER_TABLE2, suspicious_user_query
+
+SYNC = EngineKind.SYNC.value
+ASYNC = EngineKind.ASYNC.value
+GT = EngineKind.GRAPHTREK.value
+
+#: Table I of the paper: 8-step traversal on RMAT-1, seconds.
+PAPER_TABLE1 = {
+    (SYNC, 2): 47.8, (ASYNC, 2): 63.7, (GT, 2): 45.2,
+    (SYNC, 4): 28.5, (ASYNC, 4): 33.1, (GT, 4): 22.5,
+    (SYNC, 8): 17.1, (ASYNC, 8): 20.6, (GT, 8): 13.4,
+    (SYNC, 16): 10.3, (ASYNC, 16): 12.1, (GT, 16): 8.3,
+    (SYNC, 32): 7.2, (ASYNC, 32): 7.4, (GT, 32): 5.6,
+}
+
+#: Table III of the paper: 6-step Darshan audit on 32 servers, milliseconds.
+PAPER_TABLE3_MS = {SYNC: 3575.0, ASYNC: 4159.0, GT: 2839.0}
+
+
+@dataclass
+class ShapeCheck:
+    """One paper claim, evaluated against the measured cells."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ExperimentResult:
+    experiment: str
+    cells: list[Cell] = field(default_factory=list)
+    rendered: str = ""
+    checks: list[ShapeCheck] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failed_checks(self) -> list[ShapeCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def payload(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "cells": harness.cells_payload(self.cells),
+            "checks": [c.__dict__ for c in self.checks],
+            "extra": self.extra,
+        }
+
+
+def _ratio(lookup, engine: str, baseline: str, n: int) -> float:
+    return lookup[(engine, n)].elapsed / lookup[(baseline, n)].elapsed
+
+
+# -- Table I ------------------------------------------------------------------
+
+
+def exp_table1(env: Optional[BenchEnvironment] = None) -> ExperimentResult:
+    """Table I: Sync-GT / Async-GT / GraphTrek, 8-step traversal on RMAT-1."""
+    env = env or BenchEnvironment.from_env()
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    plan = harness.kstep_plan(env, 8)
+    cells = harness.run_engine_comparison(graph, plan, env.servers)
+    lookup = cell_lookup(cells)
+    n_max, n_min = max(env.servers), min(env.servers)
+    checks = [
+        ShapeCheck(
+            "async_gt_worst_at_small_scale",
+            _ratio(lookup, ASYNC, SYNC, n_min) > 1.05,
+            f"Async-GT/Sync at {n_min} servers = {_ratio(lookup, ASYNC, SYNC, n_min):.2f} "
+            "(paper: 1.33)",
+        ),
+        ShapeCheck(
+            "async_gt_penalty_shrinks_with_scale",
+            _ratio(lookup, ASYNC, SYNC, n_max) < _ratio(lookup, ASYNC, SYNC, n_min),
+            f"Async-GT/Sync {n_min}→{n_max} servers: "
+            f"{_ratio(lookup, ASYNC, SYNC, n_min):.2f} → {_ratio(lookup, ASYNC, SYNC, n_max):.2f} "
+            "(paper: 1.33 → 1.03)",
+        ),
+        ShapeCheck(
+            "graphtrek_best_at_scale",
+            _ratio(lookup, GT, SYNC, n_max) < 0.95,
+            f"GraphTrek/Sync at {n_max} servers = {_ratio(lookup, GT, SYNC, n_max):.2f} "
+            "(paper: 0.78)",
+        ),
+        ShapeCheck(
+            "graphtrek_advantage_grows_with_servers",
+            _ratio(lookup, GT, SYNC, n_max) < _ratio(lookup, GT, SYNC, n_min),
+            f"GraphTrek/Sync {n_min}→{n_max} servers: "
+            f"{_ratio(lookup, GT, SYNC, n_min):.2f} → {_ratio(lookup, GT, SYNC, n_max):.2f} "
+            "(paper: 0.95 → 0.78)",
+        ),
+        ShapeCheck(
+            "graphtrek_never_worse_than_async_gt",
+            all(_ratio(lookup, GT, ASYNC, n) <= 1.0 for n in env.servers),
+            "optimizations never hurt the plain async engine",
+        ),
+    ]
+    rendered = report.engine_table(
+        f"Table I — 8-step traversal on RMAT-1 (scale={env.scale})",
+        cells, env.servers, [SYNC, ASYNC, GT],
+        paper={k: v for k, v in PAPER_TABLE1.items() if k[1] in env.servers},
+    )
+    rendered += "\n\n" + report.speedup_table(
+        "relative to Sync-GT", cells, env.servers, SYNC, [ASYNC, GT]
+    )
+    return ExperimentResult("table1", cells, rendered, checks)
+
+
+# -- Figure 7 --------------------------------------------------------------------
+
+
+def exp_fig7(env: Optional[BenchEnvironment] = None) -> ExperimentResult:
+    """Fig. 7: per-server visit breakdown of an 8-step GraphTrek run."""
+    env = env or BenchEnvironment.from_env()
+    nservers = max(env.servers)
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    plan = harness.kstep_plan(env, 8)
+    cell = harness.run_cell(graph, plan, EngineKind.GRAPHTREK, nservers)
+    total = cell.real_io_visits + cell.combined_visits + cell.redundant_visits
+    # merging intensity vs storage weight per server (the paper found the
+    # byte-heavy hub servers merge the most)
+    per_server = cell.per_server
+    combined_ratio = {
+        s: b.get("combined", 0) / max(1, b.get("real", 0)) for s, b in per_server.items()
+    }
+    heavy = sorted(per_server, key=lambda s: -per_server[s].get("combined", 0))[: nservers // 4]
+    light = sorted(per_server, key=lambda s: per_server[s].get("combined", 0))[: nservers // 4]
+    heavy_mean = float(np.mean([combined_ratio[s] for s in heavy])) if heavy else 0.0
+    light_mean = float(np.mean([combined_ratio[s] for s in light])) if light else 0.0
+    checks = [
+        ShapeCheck(
+            "redundant_visits_dominate",
+            cell.redundant_visits > cell.real_io_visits,
+            f"redundant={cell.redundant_visits} vs real={cell.real_io_visits} "
+            "(paper: 'redundant vertex visits actually dominate the majority of "
+            "received requests')",
+        ),
+        ShapeCheck(
+            "merging_concentrated_on_loaded_servers",
+            heavy_mean > light_mean,
+            f"combined/real on merge-heavy servers {heavy_mean:.2f} vs light {light_mean:.2f}",
+        ),
+        ShapeCheck(
+            "all_visits_accounted",
+            total == sum(sum(b.values()) for b in per_server.values()),
+            "real + combined + redundant equals requests received",
+        ),
+    ]
+    rendered = report.visit_breakdown_table(
+        f"Fig. 7 — visit statistics, 8-step GraphTrek on {nservers} servers", cell
+    )
+    return ExperimentResult("fig7", [cell], rendered, checks)
+
+
+# -- Figures 8, 9, 10 ---------------------------------------------------------------
+
+
+def exp_step_sweep(steps: int, env: Optional[BenchEnvironment] = None) -> ExperimentResult:
+    """Figs. 8/9/10: Sync-GT vs GraphTrek elapsed time by server count."""
+    env = env or BenchEnvironment.from_env()
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    plan = harness.kstep_plan(env, steps)
+    cells = harness.run_engine_comparison(
+        graph, plan, env.servers, engines=(EngineKind.SYNC, EngineKind.GRAPHTREK)
+    )
+    lookup = cell_lookup(cells)
+    n_max, n_min = max(env.servers), min(env.servers)
+    ratio_small = _ratio(lookup, GT, SYNC, n_min)
+    ratio_large = _ratio(lookup, GT, SYNC, n_max)
+    checks = [
+        ShapeCheck(
+            "relative_performance_improves_with_servers",
+            ratio_large <= ratio_small + 0.02,
+            f"GraphTrek/Sync {n_min}→{n_max}: {ratio_small:.2f} → {ratio_large:.2f}",
+        ),
+    ]
+    if steps <= 2:
+        checks.append(
+            ShapeCheck(
+                "short_traversals_near_parity_or_sync_wins_small",
+                ratio_small > 0.90,
+                f"2-step at {n_min} servers: GraphTrek/Sync = {ratio_small:.2f} "
+                "(paper: sync slightly better)",
+            )
+        )
+    if steps >= 8:
+        checks.append(
+            ShapeCheck(
+                "deep_traversals_favor_graphtrek",
+                ratio_large < 0.9,
+                f"8-step at {n_max} servers: GraphTrek/Sync = {ratio_large:.2f} "
+                "(paper: 0.78, '24% improvement')",
+            )
+        )
+    fig = {2: "Fig. 8", 4: "Fig. 9", 8: "Fig. 10"}.get(steps, f"{steps}-step")
+    rendered = report.engine_table(
+        f"{fig} — {steps}-step traversal on RMAT-1 (scale={env.scale})",
+        cells, env.servers, [SYNC, GT],
+    )
+    return ExperimentResult(f"fig_steps_{steps}", cells, rendered, checks)
+
+
+# -- Figure 11 -------------------------------------------------------------------------
+
+
+def exp_fig11(env: Optional[BenchEnvironment] = None, runs: int = 3) -> ExperimentResult:
+    """Fig. 11: 8-step traversal with simulated external stragglers.
+
+    Interference: three stragglers at steps 1, 3 and 7 on three selected
+    servers (round-robin), each a budget of delayed vertex accesses. The
+    delay budget is scaled to this graph size (the paper's 500×50 ms targets
+    a 2^20-vertex deployment); see EXPERIMENTS.md. Each bar averages
+    ``runs`` traversals from different start vertices, as the paper averages
+    three runs.
+    """
+    env = env or BenchEnvironment.from_env()
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    delay, count = 1e-3, 500
+
+    def interference():
+        return paper_interference(servers=(0, 1, 2), levels=(1, 3, 7), delay=delay, count=count)
+
+    averaged: list[Cell] = []
+    for nservers in env.servers:
+        for engine in (EngineKind.SYNC, EngineKind.GRAPHTREK):
+            samples = []
+            for pick in range(runs):
+                plan = harness.kstep_plan(env, 8, pick=7 + pick)
+                samples.append(
+                    harness.run_cell(
+                        graph, plan, engine, nservers, interference_factory=interference
+                    )
+                )
+            mean = samples[0]
+            mean.elapsed = float(np.mean([s.elapsed for s in samples]))
+            averaged.append(mean)
+    lookup = cell_lookup(averaged)
+    n_max = max(env.servers)
+    speedup = lookup[(SYNC, n_max)].elapsed / lookup[(GT, n_max)].elapsed
+    checks = [
+        ShapeCheck(
+            "graphtrek_absorbs_stragglers_at_scale",
+            speedup > 1.4,
+            f"Sync/GraphTrek at {n_max} servers under interference = {speedup:.2f}x "
+            "(paper: ~2x)",
+        ),
+        ShapeCheck(
+            "graphtrek_never_slower_under_interference",
+            all(
+                lookup[(GT, n)].elapsed <= lookup[(SYNC, n)].elapsed * 1.05
+                for n in env.servers
+            ),
+            "asynchrony helps (or at worst matches) at every scale",
+        ),
+    ]
+    rendered = report.engine_table(
+        f"Fig. 11 — 8-step on RMAT-1 with external stragglers "
+        f"(delay={delay * 1000:.0f} ms x {count}, steps 1/3/7; mean of {runs} runs)",
+        averaged, env.servers, [SYNC, GT],
+    )
+    return ExperimentResult(
+        "fig11", averaged, rendered, checks, extra={"delay": delay, "count": count}
+    )
+
+
+# -- Table II -------------------------------------------------------------------------------
+
+
+def exp_table2() -> ExperimentResult:
+    """Table II: statistics of the rich-metadata graph (ratio fidelity)."""
+    md = harness.darshan_graph()
+    row = md.stats.row()
+    ours = md.stats.ratios()
+    paper_ratios = {k: v / PAPER_TABLE2["users"] for k, v in PAPER_TABLE2.items()}
+    out_stats = out_degree_stats(md.graph)
+    in_stats = in_degree_stats(md.graph)
+    checks = [
+        ShapeCheck(
+            "entity_hierarchy_order",
+            row["users"] < row["jobs"] < row["executions"] and row["files"] > row["users"],
+            f"users({row['users']}) < jobs({row['jobs']}) < executions({row['executions']})",
+        ),
+        ShapeCheck(
+            "edges_exceed_executions",
+            row["edges"] > row["executions"],
+            f"edges({row['edges']}) > executions({row['executions']}) "
+            "(paper: 239.8M > 123.4M)",
+        ),
+        ShapeCheck(
+            "power_law_in_degree",
+            in_stats.maximum > 10 * max(1.0, in_stats.p50),
+            f"max in-degree {in_stats.maximum} vs median {in_stats.p50} "
+            "(paper: 'a small-world graph with a power-law distribution')",
+        ),
+    ]
+    rendered = report.kv_table(
+        "Table II — statistics of the rich-metadata graph (scaled)",
+        {
+            **row,
+            "per-user jobs (ours / paper)": f"{ours['jobs']:.1f} / {paper_ratios['jobs']:.1f}",
+            "edges per entity (ours / paper)": (
+                f"{row['edges'] / max(1, sum(v for k, v in row.items() if k != 'edges')):.2f} / "
+                f"{PAPER_TABLE2['edges'] / (PAPER_TABLE2['users'] + PAPER_TABLE2['jobs'] + PAPER_TABLE2['executions'] + PAPER_TABLE2['files']):.2f}"
+            ),
+            "max in-degree": in_stats.maximum,
+            "out-degree gini": f"{out_stats.gini:.2f}",
+        },
+    )
+    return ExperimentResult("table2", [], rendered, checks, extra={"row": row})
+
+
+# -- Table III ---------------------------------------------------------------------------------
+
+
+def exp_table3(nservers: int = 32) -> ExperimentResult:
+    """Table III: the 6-step suspicious-user audit on the Darshan graph."""
+    md = harness.darshan_graph()
+    users_by_jobs = sorted(
+        md.user_ids, key=lambda u: -md.graph.out_degree(u, "run")
+    )
+    plan = suspicious_user_query(users_by_jobs[3]).compile()
+    expected = ReferenceEngine(md.graph).run(plan)
+    cells = []
+    for engine in harness.ENGINE_ORDER:
+        cell = harness.run_cell(md.graph, plan, engine, nservers, block_cache_blocks=0)
+        cells.append(cell)
+    lookup = cell_lookup(cells)
+    checks = [
+        ShapeCheck(
+            "async_gt_worst",
+            lookup[(ASYNC, nservers)].elapsed > lookup[(SYNC, nservers)].elapsed,
+            f"Async-GT {lookup[(ASYNC, nservers)].elapsed * 1000:.0f} ms > "
+            f"Sync {lookup[(SYNC, nservers)].elapsed * 1000:.0f} ms (paper: 4159 > 3575)",
+        ),
+        ShapeCheck(
+            "graphtrek_at_least_matches_sync",
+            lookup[(GT, nservers)].elapsed <= lookup[(SYNC, nservers)].elapsed * 1.02,
+            f"GraphTrek {lookup[(GT, nservers)].elapsed * 1000:.0f} ms vs "
+            f"Sync {lookup[(SYNC, nservers)].elapsed * 1000:.0f} ms "
+            "(paper: 2839 < 3575; our margin is smaller — see EXPERIMENTS.md)",
+        ),
+    ]
+    rendered = report.engine_table(
+        f"Table III — Darshan audit query on {nservers} servers "
+        f"(paper: Sync 3575 ms / Async 4159 ms / GraphTrek 2839 ms)",
+        cells, [nservers], [SYNC, ASYNC, GT],
+    )
+    return ExperimentResult(
+        "table3",
+        cells,
+        rendered,
+        checks,
+        extra={"result_size": len(expected.vertices), "paper_ms": PAPER_TABLE3_MS},
+    )
+
+
+# -- ablations (beyond the paper's tables; §V mechanisms individually) -------------------------
+
+
+def exp_ablation_optimizations(env: Optional[BenchEnvironment] = None) -> ExperimentResult:
+    """Attribute GraphTrek's win to its mechanisms: cache / merge / schedule."""
+    from repro.engine import EngineOptions, graphtrek_options, plain_async_options
+
+    env = env or BenchEnvironment.from_env()
+    nservers = max(env.servers)
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    plan = harness.kstep_plan(env, 8)
+    variants: dict[str, EngineOptions] = {
+        "plain-async": plain_async_options(),
+        "cache-only": plain_async_options(cache_enabled=True),
+        "merge-only": plain_async_options(merge_enabled=True),
+        "sched-only": plain_async_options(priority_schedule=True),
+        "graphtrek": graphtrek_options(),
+    }
+    rows = {}
+    cells = []
+    for name, opts in variants.items():
+        cell = harness.run_cell(graph, plan, opts, nservers)
+        cell.engine = name
+        cells.append(cell)
+        rows[name] = report.fmt_time(cell.elapsed)
+    full = next(c for c in cells if c.engine == "graphtrek")
+    plain = next(c for c in cells if c.engine == "plain-async")
+    cache_only = next(c for c in cells if c.engine == "cache-only")
+    checks = [
+        ShapeCheck(
+            "cache_is_the_dominant_optimization",
+            cache_only.elapsed < plain.elapsed,
+            f"cache-only {report.fmt_time(cache_only.elapsed)} vs plain "
+            f"{report.fmt_time(plain.elapsed)}",
+        ),
+        ShapeCheck(
+            "all_optimizations_beat_plain_async",
+            full.elapsed < plain.elapsed,
+            f"graphtrek {report.fmt_time(full.elapsed)} vs plain "
+            f"{report.fmt_time(plain.elapsed)}",
+        ),
+    ]
+    rendered = report.kv_table(
+        f"Ablation — asynchronous optimizations, 8-step on {nservers} servers", rows
+    )
+    return ExperimentResult("ablation_opts", cells, rendered, checks)
+
+
+def exp_concurrent_traversals(
+    env: Optional[BenchEnvironment] = None, depths: tuple[int, ...] = (2, 4, 6, 8)
+) -> ExperimentResult:
+    """Concurrent-workload experiment (motivated by the paper's §I: "the
+    interferences among traversals easily create stragglers").
+
+    A heterogeneous mix — one traversal per depth in ``depths``, different
+    start vertices — runs simultaneously on one cluster. The metric is each
+    traversal's *latency inflation* versus running alone: under the
+    synchronous engine a short query's barrier steps wait behind servers
+    busy with the deep queries, while GraphTrek's smallest-step-first
+    scheduling lets it cut through.
+    """
+    from repro.cluster import Cluster, ClusterConfig
+
+    env = env or BenchEnvironment.from_env()
+    # mid-sized deployment: interference is strongest when servers are busy
+    nservers = sorted(env.servers)[len(env.servers) // 2]
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    plans = [harness.kstep_plan(env, d, pick=7 + i) for i, d in enumerate(depths)]
+    rows: dict[str, str] = {}
+    slowdowns: dict[str, list[float]] = {}
+    cells = []
+    for engine in (EngineKind.SYNC, EngineKind.GRAPHTREK):
+        solo = []
+        for plan in plans:
+            cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=engine))
+            solo.append(cluster.traverse(plan).stats.elapsed)
+        cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=engine))
+        outcomes = cluster.traverse_many(list(plans))
+        concurrent = [o.stats.elapsed for o in outcomes]
+        slowdowns[engine.value] = [c / s for c, s in zip(concurrent, solo)]
+        rows[f"{engine.value} makespan"] = report.fmt_time(max(concurrent))
+        rows[f"{engine.value} max slowdown"] = f"{max(slowdowns[engine.value]):.2f}x"
+        rows[f"{engine.value} mean slowdown"] = f"{np.mean(slowdowns[engine.value]):.2f}x"
+        cell = harness.Cell.from_outcome(engine, nservers, outcomes[-1])
+        cell.elapsed = max(concurrent)
+        cells.append(cell)
+    checks = [
+        ShapeCheck(
+            "graphtrek_bounds_interference_on_short_queries",
+            max(slowdowns[GT]) < max(slowdowns[SYNC]),
+            f"worst-case latency inflation: GraphTrek {max(slowdowns[GT]):.2f}x "
+            f"vs Sync {max(slowdowns[SYNC]):.2f}x (paper §I: interference among "
+            "traversals creates stragglers and idling at every barrier)",
+        ),
+        ShapeCheck(
+            "graphtrek_lower_mean_inflation",
+            float(np.mean(slowdowns[GT])) < float(np.mean(slowdowns[SYNC])),
+            f"mean inflation: GraphTrek {np.mean(slowdowns[GT]):.2f}x vs "
+            f"Sync {np.mean(slowdowns[SYNC]):.2f}x",
+        ),
+    ]
+    rendered = report.kv_table(
+        f"Concurrent workload — depths {depths} running simultaneously on "
+        f"{nservers} servers (inflation vs running alone)", rows
+    )
+    return ExperimentResult(
+        "concurrent", cells, rendered, checks, extra={"slowdowns": slowdowns},
+    )
+
+
+def exp_ablation_layout(nservers: int = 16) -> ExperimentResult:
+    """Storage-layout ablation (paper §IV-B): "storing all the edges of one
+    vertex together based on their type will provide better performance" —
+    grouped (paper) vs interleaved (generic column layout) edge keys, on the
+    heterogeneous Darshan graph where label-selective scans matter."""
+    from repro.cluster import Cluster, ClusterConfig
+
+    md = harness.darshan_graph()
+    users_by_jobs = sorted(md.user_ids, key=lambda u: -md.graph.out_degree(u, "run"))
+    plan = suspicious_user_query(users_by_jobs[3]).compile()
+    rows = {}
+    cells = []
+    elapsed = {}
+    for layout in ("grouped", "interleaved"):
+        cluster = Cluster.build(
+            md.graph,
+            ClusterConfig(
+                nservers=nservers,
+                engine=EngineKind.GRAPHTREK,
+                edge_layout=layout,
+                block_cache_blocks=0,  # cold: layout differences are I/O
+            ),
+        )
+        outcome = cluster.traverse(plan)
+        cell = harness.Cell.from_outcome(EngineKind.GRAPHTREK, nservers, outcome)
+        cell.engine = f"GraphTrek/{layout}"
+        cells.append(cell)
+        elapsed[layout] = outcome.stats.elapsed
+        rows[f"{layout} layout"] = report.fmt_time(outcome.stats.elapsed)
+    rows["interleaved / grouped"] = f"{elapsed['interleaved'] / elapsed['grouped']:.2f}x"
+    checks = [
+        ShapeCheck(
+            "grouped_layout_wins_label_selective_scans",
+            elapsed["grouped"] < elapsed["interleaved"],
+            f"grouped {report.fmt_time(elapsed['grouped'])} vs interleaved "
+            f"{report.fmt_time(elapsed['interleaved'])} (paper §IV-B: grouping "
+            "edges by type makes edge iteration sequential)",
+        ),
+    ]
+    rendered = report.kv_table(
+        f"Ablation — edge-key layout, Darshan audit query on {nservers} servers", rows
+    )
+    return ExperimentResult("ablation_layout", cells, rendered, checks)
+
+
+def exp_ablation_partitioning(env: Optional[BenchEnvironment] = None) -> ExperimentResult:
+    """§VI discussion: partitioning strategy vs straggler persistence."""
+    from repro.partition import HashEdgeCut, evaluate_partition, greedy_vertex_cut
+    from repro.partition.edge_cut import GreedyBalancedEdgeCut
+
+    env = env or BenchEnvironment.from_env()
+    nservers = max(env.servers)
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    plan = harness.kstep_plan(env, 8)
+    cells = []
+    for name, part in (("hash", "hash"), ("greedy", "greedy")):
+        for engine in (EngineKind.SYNC, EngineKind.GRAPHTREK):
+            cell = harness.run_cell(graph, plan, engine, nservers, partitioner=part)
+            cell.engine = f"{engine.value}/{name}"
+            cells.append(cell)
+    hash_report = evaluate_partition(graph, HashEdgeCut(nservers))
+    greedy_report = evaluate_partition(graph, GreedyBalancedEdgeCut(nservers).fit(graph))
+    vc = greedy_vertex_cut(graph, nservers)
+    by_name = {c.engine: c for c in cells}
+    sync_gain = (
+        by_name[f"{SYNC}/hash"].elapsed - by_name[f"{SYNC}/greedy"].elapsed
+    ) / by_name[f"{SYNC}/hash"].elapsed
+    checks = [
+        ShapeCheck(
+            "greedy_balances_better",
+            greedy_report.edge_imbalance <= hash_report.edge_imbalance,
+            f"edge imbalance: hash {hash_report.edge_imbalance:.2f} vs "
+            f"greedy {greedy_report.edge_imbalance:.2f}",
+        ),
+        ShapeCheck(
+            "async_still_helps_under_best_partitioning",
+            by_name[f"{GT}/greedy"].elapsed < by_name[f"{SYNC}/greedy"].elapsed,
+            "even with the balanced partition, stragglers persist and "
+            "asynchrony wins (paper §VI: 'even with the best load-balanced "
+            "strategy, stragglers will still exist')",
+        ),
+    ]
+    rendered = report.kv_table(
+        f"Ablation — partitioning, 8-step on {nservers} servers",
+        {
+            **{c.engine: report.fmt_time(c.elapsed) for c in cells},
+            "hash edge-imbalance": f"{hash_report.edge_imbalance:.2f}",
+            "greedy edge-imbalance": f"{greedy_report.edge_imbalance:.2f}",
+            "vertex-cut replication factor": f"{vc.replication_factor:.2f}",
+            "sync gain from balancing": f"{sync_gain * 100:.1f}%",
+        },
+    )
+    return ExperimentResult("ablation_partition", cells, rendered, checks)

@@ -1,0 +1,198 @@
+"""Experiment harness: configuration, graph caching, and sweep execution.
+
+Every table/figure benchmark goes through :func:`run_engine_comparison`, which
+builds a fresh cluster per (engine, server-count) cell — cold start, same
+graph, same plan — and records virtual elapsed time plus the visit/message
+statistics. Wall-clock time of the *simulation* is what pytest-benchmark
+measures; the paper's metric (simulated elapsed time) is attached as
+``extra_info`` and printed in paper-style tables.
+
+Environment knobs (so the full paper scale can be attempted off-laptop):
+
+* ``REPRO_BENCH_SCALE``       — RMAT scale (default 12; paper used 20)
+* ``REPRO_BENCH_EDGE_FACTOR`` — RMAT average out-degree (default 16, as paper)
+* ``REPRO_BENCH_SERVERS``     — comma list of server counts (default 2,4,8,16,32)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind, TraversalOutcome
+from repro.graph.builder import PropertyGraph
+from repro.lang.plan import TraversalPlan
+from repro.workloads import (
+    MetadataGraph,
+    MetadataGraphConfig,
+    generate_metadata_graph,
+    paper_rmat1,
+    pick_start_vertex,
+    rmat_graph,
+    rmat_kstep_query,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+PAPER_SERVERS = (2, 4, 8, 16, 32)
+
+ENGINE_ORDER = (EngineKind.SYNC, EngineKind.ASYNC, EngineKind.GRAPHTREK)
+
+
+@dataclass(frozen=True)
+class BenchEnvironment:
+    """Resolved benchmark-scale knobs."""
+
+    scale: int = 12
+    edge_factor: int = 16
+    servers: tuple[int, ...] = PAPER_SERVERS
+    seed: int = 1
+
+    @classmethod
+    def from_env(cls) -> "BenchEnvironment":
+        scale = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
+        edge_factor = int(os.environ.get("REPRO_BENCH_EDGE_FACTOR", "16"))
+        servers_raw = os.environ.get("REPRO_BENCH_SERVERS", "")
+        servers = (
+            tuple(int(s) for s in servers_raw.split(",") if s)
+            if servers_raw
+            else PAPER_SERVERS
+        )
+        return cls(scale=scale, edge_factor=edge_factor, servers=servers)
+
+
+@lru_cache(maxsize=4)
+def rmat1_graph(scale: int, edge_factor: int, seed: int = 1) -> PropertyGraph:
+    """The paper's RMAT-1 graph (cached across benchmarks in one session)."""
+    return rmat_graph(paper_rmat1(scale=scale, edge_factor=edge_factor, seed=seed))
+
+
+@lru_cache(maxsize=4)
+def rmat1_source(scale: int, edge_factor: int, seed: int = 1, pick: int = 7) -> int:
+    return pick_start_vertex(
+        paper_rmat1(scale=scale, edge_factor=edge_factor, seed=seed), rng_seed=pick
+    )
+
+
+@lru_cache(maxsize=2)
+def darshan_graph(scale_users: int = 128, seed: int = 42) -> MetadataGraph:
+    """The Darshan-like rich-metadata graph used by Table II/III benches."""
+    return generate_metadata_graph(
+        MetadataGraphConfig(
+            users=scale_users,
+            mean_jobs_per_user=16.0,
+            mean_execs_per_job=10.0,
+            files=max(1024, scale_users * 64),
+            mean_reads_per_exec=1.6,
+            mean_writes_per_exec=1.0,
+            seed=seed,
+        )
+    )
+
+
+def kstep_plan(env: BenchEnvironment, steps: int, pick: int = 7) -> TraversalPlan:
+    src = rmat1_source(env.scale, env.edge_factor, env.seed, pick)
+    return rmat_kstep_query(src, steps).compile()
+
+
+@dataclass
+class Cell:
+    """One measurement: (engine, nservers) on a fixed plan."""
+
+    engine: str
+    nservers: int
+    elapsed: float
+    real_io_visits: int
+    combined_visits: int
+    redundant_visits: int
+    messages: int
+    bytes_sent: int
+    barrier_rounds: int
+    executions: int
+    per_server: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_outcome(cls, engine, nservers: int, outcome: TraversalOutcome):
+        st = outcome.stats
+        name = engine.value if isinstance(engine, EngineKind) else engine.kind.value
+        return cls(
+            engine=name,
+            nservers=nservers,
+            elapsed=st.elapsed,
+            real_io_visits=st.real_io_visits,
+            combined_visits=st.combined_visits,
+            redundant_visits=st.redundant_visits,
+            messages=st.messages,
+            bytes_sent=st.bytes_sent,
+            barrier_rounds=st.barrier_rounds,
+            executions=st.executions,
+            per_server=dict(st.per_server),
+        )
+
+
+def run_cell(
+    graph: PropertyGraph,
+    plan: TraversalPlan,
+    engine: EngineKind,
+    nservers: int,
+    *,
+    interference_factory=None,
+    **cluster_kwargs,
+) -> Cell:
+    """One cold-start traversal on a freshly built cluster."""
+    config = ClusterConfig(nservers=nservers, engine=engine, **cluster_kwargs)
+    if interference_factory is not None:
+        config.interference = interference_factory()
+    cluster = Cluster.build(graph, config)
+    outcome = cluster.traverse(plan)
+    return Cell.from_outcome(engine, nservers, outcome)
+
+
+def run_engine_comparison(
+    graph: PropertyGraph,
+    plan: TraversalPlan,
+    servers: Sequence[int],
+    engines: Sequence[EngineKind] = ENGINE_ORDER,
+    *,
+    interference_factory=None,
+    **cluster_kwargs,
+) -> list[Cell]:
+    """The standard sweep: every engine at every server count."""
+    cells = []
+    for nservers in servers:
+        for engine in engines:
+            cells.append(
+                run_cell(
+                    graph,
+                    plan,
+                    engine,
+                    nservers,
+                    interference_factory=interference_factory,
+                    **cluster_kwargs,
+                )
+            )
+    return cells
+
+
+def cell_lookup(cells: Sequence[Cell]) -> dict[tuple[str, int], Cell]:
+    return {(c.engine, c.nservers): c for c in cells}
+
+
+def save_results(name: str, payload) -> Path:
+    """Persist experiment output under benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def cells_payload(cells: Sequence[Cell]) -> list[dict]:
+    return [
+        {k: v for k, v in cell.__dict__.items() if k != "per_server"}
+        for cell in cells
+    ]

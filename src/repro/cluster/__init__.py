@@ -1,0 +1,19 @@
+"""Cluster assembly: servers, coordinator, client, straggler injection."""
+
+from repro.cluster.client import GraphTrekClient
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.coordinator import Coordinator, CoordinatorConfig
+from repro.cluster.server import BackendServer
+from repro.cluster.straggler import ExternalInterference, StragglerSpec, paper_interference
+
+__all__ = [
+    "GraphTrekClient",
+    "Cluster",
+    "ClusterConfig",
+    "Coordinator",
+    "CoordinatorConfig",
+    "BackendServer",
+    "ExternalInterference",
+    "StragglerSpec",
+    "paper_interference",
+]

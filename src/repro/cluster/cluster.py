@@ -1,0 +1,237 @@
+"""Cluster assembly: build N backend servers over a partitioned graph and
+run traversals on them.
+
+This is the top-level entry point benchmarks and examples use::
+
+    cluster = Cluster.build(graph, ClusterConfig(nservers=8, engine=EngineKind.GRAPHTREK))
+    outcome = cluster.traverse(GTravel.v(src).e("run").e("read"))
+    print(outcome.stats.elapsed, sorted(outcome.result.vertices))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.engine.async_engine import AsyncServerEngine
+from repro.engine.base import EngineKind, TraversalOutcome
+from repro.engine.options import EngineOptions, options_for
+from repro.engine.registry import TravelRegistry
+from repro.engine.statistics import StatsBoard
+from repro.engine.sync_engine import SyncServerEngine
+from repro.cluster.coordinator import Coordinator, CoordinatorConfig
+from repro.cluster.server import BackendServer
+from repro.errors import SimulationError
+from repro.graph.builder import PropertyGraph
+from repro.ids import ServerId, TravelId
+from repro.lang.gtravel import GTravel
+from repro.lang.plan import TraversalPlan
+from repro.net.topology import INFINIBAND_QDR, NetworkModel
+from repro.partition.edge_cut import Partitioner, make_partitioner
+from repro.runtime.base import InterferencePolicy
+from repro.runtime.simulated import SimRuntime
+from repro.storage.costmodel import GPFS, DiskCostModel
+from repro.storage.layout import GraphStore
+from repro.storage.lsm import LSMConfig
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to stand up a simulated deployment."""
+
+    nservers: int = 4
+    engine: Union[EngineKind, EngineOptions] = EngineKind.GRAPHTREK
+    partitioner: str = "hash"  # "hash" (paper default) or "greedy"
+    network: NetworkModel = INFINIBAND_QDR
+    disk_model: DiskCostModel = field(default_factory=lambda: GPFS)
+    disk_capacity: int = 1
+    #: server page/block cache, in 4 KiB blocks (16 MiB default). The paper's
+    #: nodes have 36 GB RAM, so data is warm after first touch; "cold start"
+    #: means the cache is *cleared before each measured run* (which
+    #: ``Cluster.traverse(cold=True)`` does), not that it stays cold.
+    block_cache_blocks: int = 4096
+    coordinator_server: ServerId = 0
+    coordinator_config: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    interference: Optional[InterferencePolicy] = None
+    partition_salt: int = 0
+    #: "simulated" (virtual time; the evaluation runtime) or "threaded"
+    #: (real OS threads; functional cross-validation — timings are wall clock
+    #: and nondeterministic).
+    runtime: str = "simulated"
+    #: "grouped" (paper layout: same-label edges contiguous) or
+    #: "interleaved" (generic column layout; the §IV-B ablation baseline).
+    edge_layout: str = "grouped"
+
+    def engine_options(self) -> EngineOptions:
+        if isinstance(self.engine, EngineOptions):
+            return self.engine
+        return options_for(self.engine)
+
+
+class Cluster:
+    """A running (simulated) GraphTrek deployment."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        runtime: SimRuntime,
+        partitioner: Partitioner,
+        servers: list[BackendServer],
+        coordinator: Coordinator,
+        registry: TravelRegistry,
+        board: StatsBoard,
+    ):
+        self.config = config
+        self.runtime = runtime
+        self.partitioner = partitioner
+        self.servers = servers
+        self.coordinator = coordinator
+        self.registry = registry
+        self.board = board
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: PropertyGraph, config: Optional[ClusterConfig] = None) -> "Cluster":
+        config = config or ClusterConfig()
+        opts = config.engine_options()
+        if config.runtime == "simulated":
+            runtime = SimRuntime(
+                config.nservers,
+                network=config.network,
+                disk_model=config.disk_model,
+                disk_capacity=config.disk_capacity,
+                interference=config.interference,
+            )
+        elif config.runtime == "threaded":
+            from repro.runtime.threaded import ThreadRuntime
+
+            runtime = ThreadRuntime(
+                config.nservers,
+                network=config.network,
+                disk_model=config.disk_model,
+                disk_capacity=config.disk_capacity,
+                interference=config.interference,
+            )
+        else:
+            raise SimulationError(f"unknown runtime kind {config.runtime!r}")
+        runtime.coordinator_server = config.coordinator_server
+        partitioner = make_partitioner(
+            config.partitioner, config.nservers, graph=graph, salt=config.partition_salt
+        )
+        assignment = partitioner.assign(graph)
+        registry = TravelRegistry()
+        board = StatsBoard(opts.kind)
+        lsm_config = LSMConfig(
+            block_cache_blocks=config.block_cache_blocks,
+            cost_model=config.disk_model,
+        )
+
+        servers: list[BackendServer] = []
+        for server_id in range(config.nservers):
+            ctx = runtime.context(server_id)
+            store = GraphStore(replace(lsm_config), edge_layout=config.edge_layout)
+            store.load_partition(graph, assignment[server_id])
+            engine_cls = SyncServerEngine if opts.kind is EngineKind.SYNC else AsyncServerEngine
+            engine = engine_cls(ctx, store, registry, partitioner.owner, opts, board)
+            runtime.register_handler(server_id, engine.on_message)
+            servers.append(BackendServer(server_id, ctx, store, engine))
+
+        def _forget(travel_id: TravelId) -> None:
+            for server in servers:
+                server.engine.forget_travel(travel_id)
+
+        coordinator = Coordinator(
+            ctx=runtime.context(config.coordinator_server),
+            runtime=runtime,
+            registry=registry,
+            owner_fn=partitioner.owner,
+            board=board,
+            engine_kind=opts.kind,
+            config=config.coordinator_config,
+            on_complete=_forget,
+        )
+        runtime.register_coordinator(coordinator.on_message)
+        return cls(config, runtime, partitioner, servers, coordinator, registry, board)
+
+    # -- client API (paper §IV-A: submit the whole GTravel instance) ------------
+
+    def _compile(self, query: Union[GTravel, TraversalPlan]) -> TraversalPlan:
+        return query.compile() if isinstance(query, GTravel) else query
+
+    def submit(self, query: Union[GTravel, TraversalPlan]):
+        """Asynchronously submit; returns (travel_id, completion event)."""
+        with self.runtime.exclusive(self.config.coordinator_server):
+            return self.coordinator.submit(self._compile(query))
+
+    def traverse(
+        self,
+        query: Union[GTravel, TraversalPlan],
+        *,
+        cold: bool = True,
+        limit: Optional[float] = None,
+    ) -> TraversalOutcome:
+        """Run one traversal to completion and return its outcome.
+
+        ``cold=True`` drops every server's block cache first, matching the
+        paper's cold-start methodology.
+        """
+        if cold:
+            self.cold_start()
+        _, event = self.submit(query)
+        return self.runtime.run_until_complete(event, limit=limit)
+
+    def traverse_many(
+        self, queries: list[Union[GTravel, TraversalPlan]], *, cold: bool = True
+    ) -> list[TraversalOutcome]:
+        """Run several traversals concurrently (the paper's online workload:
+        'as an online database system, our system needs to support concurrent
+        graph traversals')."""
+        if cold:
+            self.cold_start()
+        events = [self.submit(q)[1] for q in queries]
+        outcomes = []
+        for event in events:
+            outcomes.append(self.runtime.run_until_complete(event))
+        return outcomes
+
+    def progress(self, travel_id: TravelId) -> dict[int, int]:
+        """Outstanding work per step for an in-flight traversal (§IV-C)."""
+        with self.runtime.exclusive(self.config.coordinator_server):
+            return self.coordinator.progress(travel_id)
+
+    # -- maintenance --------------------------------------------------------------
+
+    def cold_start(self) -> None:
+        for server in self.servers:
+            server.store.cold_start()
+
+    @property
+    def now(self) -> float:
+        if hasattr(self.runtime, "sim"):
+            return self.runtime.sim.now
+        return self.runtime.context(0).now()
+
+    def shutdown(self) -> None:
+        """Release runtime resources (worker threads on the threaded runtime)."""
+        self.runtime.shutdown()
+
+    def server_loads(self) -> list[int]:
+        """Vertices per server (partition skew introspection)."""
+        return [s.vertex_count for s in self.servers]
+
+    # -- live updates (the metadata store ingests production data in real time) ----
+
+    def ingest_vertex(self, vid: int, vtype: str, props: Optional[dict] = None) -> None:
+        """Insert a vertex through the owning server's storage engine."""
+        owner = self.partitioner.owner(vid)
+        self.servers[owner].store.insert_vertex(vid, vtype, dict(props or {}))
+
+    def ingest_edge(
+        self, src: int, dst: int, label: str, props: Optional[dict] = None
+    ) -> None:
+        """Insert an out-edge on the source vertex's owning server."""
+        owner = self.partitioner.owner(src)
+        if not self.servers[owner].store.has_vertex(src):
+            raise SimulationError(f"edge source {src} has not been ingested")
+        self.servers[owner].store.insert_edge(src, dst, label, dict(props or {}))

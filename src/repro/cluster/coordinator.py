@@ -1,0 +1,465 @@
+"""The coordinator: traversal submission, tracing, completion, and restart.
+
+The client ships a compiled plan to one selected backend server which acts as
+the coordinator for that traversal (paper §IV-A, Fig. 2b). For asynchronous
+engines the coordinator hosts the execution tracker (§IV-C); for the
+synchronous baseline it is the barrier controller (§VI). Either way it
+assembles the returned vertex sets, stamps the elapsed time, and resolves
+the client's completion event.
+
+Failure handling follows the paper: an execution that was created but does
+not terminate within a timeout marks the traversal failed, and "this failure
+will simply cause the traversal to be restarted" — up to ``max_restarts``
+attempts, after which the client's event fails with
+:class:`~repro.errors.TraversalFailed`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.engine.base import EngineKind, TraversalResult
+from repro.engine.registry import TravelEntry, TravelRegistry
+from repro.engine.statistics import StatsBoard
+from repro.engine.tracing import ExecTracker, SyncBarrierState
+from repro.errors import TraversalFailed
+from repro.ids import IdAllocator, ServerId, TravelId, VertexId
+from repro.lang.plan import TraversalPlan
+from repro.net.message import (
+    ExecStatus,
+    Message,
+    ReplayExec,
+    ResultReport,
+    SyncBatch,
+    SyncStartStep,
+    SyncStepDone,
+    TraverseRequest,
+)
+from repro.runtime.base import Runtime, ServerContext
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Timeout, restart, and control-plane cost policy."""
+
+    exec_timeout: float = 60.0  # idle seconds before declaring failure
+    watch_interval: float = 5.0
+    max_restarts: int = 2
+    #: fine-grained recovery (the paper's future work): before falling back
+    #: to a full restart, ask the creators of the lost executions to replay
+    #: their original dispatches. Receiver-side (travel, step, vertex)
+    #: deduplication makes replays idempotent. Async engines only.
+    fine_grained_recovery: bool = False
+    max_replay_rounds: int = 2
+    #: buffered result pipeline (the paper's future work): stream result
+    #: chunks to the client while the traversal is still running, instead of
+    #: one bulk reply at the end. Pays off when the return set is large.
+    stream_results: bool = False
+    stream_chunk_vertices: int = 1024
+    #: per-control-message handling time at the barrier controller. The
+    #: synchronous engine's coordinator must receive N step-done reports and
+    #: send N step-start orders *on the critical path* of every step; the
+    #: asynchronous engines' status tracing is processed off the critical
+    #: path, so only sync barriers pay this.
+    control_overhead_per_msg: float = 15e-6
+
+
+@dataclass
+class ActiveTravel:
+    """Coordinator-side state of one in-flight traversal."""
+
+    travel_id: TravelId
+    entry: TravelEntry
+    submit_time: float
+    client_event: object
+    tracker: Union[ExecTracker, SyncBarrierState]
+    returned: dict[int, set[VertexId]] = field(default_factory=dict)
+    done: bool = False
+    #: coordinator-side replay buffer for its own initial dispatches
+    initial_sent: dict[int, tuple[ServerId, object]] = field(default_factory=dict)
+    replay_rounds: int = 0
+    #: buffered result pipeline state: vertices not yet streamed, vertices
+    #: already on the wire, and the count of chunks shipped.
+    stream_backlog: dict[int, set[VertexId]] = field(default_factory=dict)
+    streamed: dict[int, set[VertexId]] = field(default_factory=dict)
+    stream_chunks: int = 0
+    streamer_busy: bool = False
+    stream_done_time: float = 0.0
+
+    @property
+    def plan(self) -> TraversalPlan:
+        return self.entry.plan
+
+
+class Coordinator:
+    """One coordinator actor per cluster (hosted on a backend server)."""
+
+    def __init__(
+        self,
+        ctx: ServerContext,
+        runtime: Runtime,
+        registry: TravelRegistry,
+        owner_fn: Callable[[VertexId], ServerId],
+        board: StatsBoard,
+        engine_kind: EngineKind,
+        config: Optional[CoordinatorConfig] = None,
+        on_complete: Optional[Callable[[TravelId], None]] = None,
+    ):
+        self.ctx = ctx
+        self.runtime = runtime
+        self.registry = registry
+        self.owner_fn = owner_fn
+        self.board = board
+        self.engine_kind = engine_kind
+        self.config = config or CoordinatorConfig()
+        self.on_complete = on_complete
+        self._active: dict[TravelId, ActiveTravel] = {}
+        self._travel_ids = IdAllocator(1)
+        self._next_exec = itertools.count((ctx.nservers + 1) << 32)
+
+    @property
+    def is_sync(self) -> bool:
+        return self.engine_kind is EngineKind.SYNC
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, plan: TraversalPlan):
+        """Register and launch a traversal; returns (travel_id, event)."""
+        travel_id = self._travel_ids.next()
+        entry = self.registry.register(travel_id, plan)
+        event = self.runtime.completion_event()
+        tracker: Union[ExecTracker, SyncBarrierState]
+        tracker = SyncBarrierState() if self.is_sync else ExecTracker()
+        at = ActiveTravel(
+            travel_id=travel_id,
+            entry=entry,
+            submit_time=self.ctx.now(),
+            client_event=event,
+            tracker=tracker,
+        )
+        self._active[travel_id] = at
+        self._dispatch(at)
+        self.ctx.spawn(self._watchdog(at), name=f"watchdog-{travel_id}")
+        return travel_id, event
+
+    def _dispatch(self, at: ActiveTravel) -> None:
+        if self.is_sync:
+            self._dispatch_sync(at)
+        else:
+            self._dispatch_async(at)
+
+    def _source_groups(self, plan: TraversalPlan) -> dict[ServerId, list[VertexId]]:
+        groups: dict[ServerId, list[VertexId]] = {}
+        for vid in plan.source_ids or ():
+            groups.setdefault(self.owner_fn(vid), []).append(vid)
+        return groups
+
+    def _dispatch_async(self, at: ActiveTravel) -> None:
+        plan, attempt = at.plan, at.entry.attempt
+        tracker: ExecTracker = at.tracker  # type: ignore[assignment]
+        tracker.attempt = attempt
+        initial: list[tuple[int, ServerId, int]] = []
+        if plan.source_ids is None:
+            groups: list[tuple[ServerId, Optional[list]]] = [
+                (server, None) for server in range(self.ctx.nservers)
+            ]
+        else:
+            groups = sorted(self._source_groups(plan).items())  # type: ignore[assignment]
+        for server, vids in groups:
+            eid = next(self._next_exec)
+            initial.append((eid, server, 0))
+            request = TraverseRequest(
+                at.travel_id,
+                level=0,
+                entries={} if vids is None else {vid: () for vid in vids},
+                exec_id=eid,
+                from_server=self.ctx.server_id,
+                all_sources=vids is None,
+                attempt=attempt,
+            )
+            at.initial_sent[eid] = (server, request)
+            self._send(at.travel_id, server, request)
+        tracker.register_initial(initial, self.ctx.now())
+        self.board.stats(at.travel_id).executions += 0  # materialize stats early
+        self._check_complete(at)  # zero-source traversals complete immediately
+
+    def _dispatch_sync(self, at: ActiveTravel) -> None:
+        plan, attempt = at.plan, at.entry.attempt
+        barrier: SyncBarrierState = at.tracker  # type: ignore[assignment]
+        barrier.attempt = attempt
+        barrier.reset_for_level(0)
+        barrier.last_activity = self.ctx.now()
+        counts: Counter = Counter()
+        if plan.source_ids is not None:
+            for server, vids in sorted(self._source_groups(plan).items()):
+                counts[server] += 1
+                self._send(
+                    at.travel_id,
+                    server,
+                    SyncBatch(
+                        at.travel_id,
+                        level=0,
+                        entries={vid: () for vid in vids},
+                        from_server=self.ctx.server_id,
+                        attempt=attempt,
+                    ),
+                )
+        for server in range(self.ctx.nservers):
+            self._send(
+                at.travel_id,
+                server,
+                SyncStartStep(
+                    at.travel_id,
+                    level=0,
+                    expect_batches=counts.get(server, 0),
+                    all_sources=plan.source_ids is None,
+                    attempt=attempt,
+                ),
+            )
+        self.board.stats(at.travel_id).barrier_rounds += 1
+
+    # -- message handling --------------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        at = self._active.get(msg.travel_id)
+        if at is None or at.done:
+            return
+        attempt = getattr(msg, "attempt", 0)
+        if attempt != at.entry.attempt:
+            return  # stale report from a restarted attempt
+        if isinstance(msg, ExecStatus):
+            tracker: ExecTracker = at.tracker  # type: ignore[assignment]
+            tracker.on_status(msg, self.ctx.now())
+            self._check_complete(at)
+        elif isinstance(msg, ResultReport):
+            at.returned.setdefault(msg.level, set()).update(msg.vertices)
+            if self.config.stream_results:
+                self._stream_enqueue(at, msg.level, msg.vertices)
+            if self.is_sync:
+                barrier: SyncBarrierState = at.tracker  # type: ignore[assignment]
+                barrier.results_received += 1
+                barrier.last_activity = self.ctx.now()
+            else:
+                at.tracker.on_result(self.ctx.now())  # type: ignore[union-attr]
+            self._check_complete(at)
+        elif isinstance(msg, SyncStepDone):
+            self._on_step_done(at, msg)
+        else:  # pragma: no cover - protocol misuse guard
+            raise TypeError(f"coordinator got unexpected {type(msg).__name__}")
+
+    def _on_step_done(self, at: ActiveTravel, msg: SyncStepDone) -> None:
+        barrier: SyncBarrierState = at.tracker  # type: ignore[assignment]
+        if msg.level != barrier.level:
+            return  # late duplicate; cannot happen with exact batch counts
+        barrier.done_servers.add(msg.server)
+        barrier.last_activity = self.ctx.now()
+        for server, count in msg.sent_counts.items():
+            barrier.next_expected[server] += count
+        barrier.results_expected += msg.results_sent
+        if len(barrier.done_servers) < self.ctx.nservers:
+            return
+        if barrier.level >= at.plan.final_level:
+            barrier.finished_steps = True
+            self._check_complete(at)
+            return
+        expected = barrier.next_expected
+        next_level = barrier.level + 1
+        barrier.reset_for_level(next_level)
+        self.ctx.spawn(
+            self._release_step(at, next_level, expected),
+            name=f"barrier-{at.travel_id}-{next_level}",
+        )
+        self.board.stats(at.travel_id).barrier_rounds += 1
+
+    def _release_step(self, at: ActiveTravel, level: int, expected) -> None:
+        """Release the next barrier after the controller's handling time:
+        it just received N done-reports and must send N start orders."""
+        overhead = 2 * self.ctx.nservers * self.config.control_overhead_per_msg
+        if overhead > 0:
+            yield self.ctx.sleep(overhead)
+        attempt = at.entry.attempt
+        if at.done or attempt != at.entry.attempt:
+            return
+        for server in range(self.ctx.nservers):
+            self._send(
+                at.travel_id,
+                server,
+                SyncStartStep(
+                    at.travel_id,
+                    level=level,
+                    expect_batches=expected.get(server, 0),
+                    attempt=attempt,
+                ),
+            )
+
+    # -- buffered result pipeline (paper §IV-B future work) -----------------------
+
+    def _stream_enqueue(self, at: ActiveTravel, level: int, vertices) -> None:
+        """Queue freshly returned vertices for streaming to the client."""
+        already = at.streamed.setdefault(level, set())
+        backlog = at.stream_backlog.setdefault(level, set())
+        fresh = set(vertices) - already - backlog
+        if not fresh:
+            return
+        backlog.update(fresh)
+        if not at.streamer_busy:
+            at.streamer_busy = True
+            self.ctx.spawn(self._streamer(at), name=f"stream-{at.travel_id}")
+
+    def _streamer(self, at: ActiveTravel):
+        """Ship result chunks to the client over the (slower) client link,
+        overlapping with the still-running traversal."""
+        network = self.runtime.network  # type: ignore[attr-defined]
+        chunk_size = self.config.stream_chunk_vertices
+        while True:
+            level = next((l for l, s in at.stream_backlog.items() if s), None)
+            if level is None:
+                break
+            backlog = at.stream_backlog[level]
+            chunk = [backlog.pop() for _ in range(min(chunk_size, len(backlog)))]
+            at.streamed[level].update(chunk)
+            at.stream_chunks += 1
+            yield self.ctx.sleep(network.client_latency(64 + 8 * len(chunk)))
+        at.streamer_busy = False
+        at.stream_done_time = self.ctx.now()
+        self._check_complete(at)
+
+    # -- completion ------------------------------------------------------------------
+
+    def _check_complete(self, at: ActiveTravel) -> None:
+        if at.done or not at.tracker.complete:
+            return
+        if self.config.stream_results and (
+            at.streamer_busy or any(at.stream_backlog.values())
+        ):
+            return  # the streamer finalizes once the pipeline drains
+        at.done = True
+        stats = self.board.pop(at.travel_id)
+        network = self.runtime.network  # type: ignore[attr-defined]
+        submit_hop = network.client_latency(512)  # GTravel instance upload
+        total_results = sum(len(v) for v in at.returned.values())
+        if self.config.stream_results:
+            # results already on the client; just the final status reply
+            stats.elapsed = (
+                max(self.ctx.now(), at.stream_done_time) - at.submit_time
+                + submit_hop + network.client_latency(64)
+            )
+            stats.result_chunks = at.stream_chunks
+        else:
+            # bulk reply: the whole result set crosses the client link now
+            stats.elapsed = (
+                self.ctx.now() - at.submit_time
+                + submit_hop + network.client_latency(64 + 8 * total_results)
+            )
+        result = TraversalResult(
+            travel_id=at.travel_id,
+            returned={lvl: frozenset(v) for lvl, v in at.returned.items()},
+        )
+        del self._active[at.travel_id]
+        self.registry.unregister(at.travel_id)
+        if self.on_complete is not None:
+            self.on_complete(at.travel_id)
+        from repro.engine.base import TraversalOutcome
+
+        at.client_event.succeed(TraversalOutcome(result=result, stats=stats, plan=at.plan))
+
+    # -- failure detection and restart (paper §IV-C) ------------------------------------
+
+    def _watchdog(self, at: ActiveTravel):
+        restarts = 0
+        while not at.done:
+            yield self.ctx.sleep(self.config.watch_interval)
+            if at.done:
+                return
+            idle = self.ctx.now() - at.tracker.last_activity
+            if idle <= self.config.exec_timeout:
+                continue
+            if (
+                self.config.fine_grained_recovery
+                and not self.is_sync
+                and at.replay_rounds < self.config.max_replay_rounds
+                and self._replay_pending(at)
+            ):
+                continue
+            if restarts >= self.config.max_restarts:
+                at.done = True
+                del self._active[at.travel_id]
+                self.registry.unregister(at.travel_id)
+                at.client_event.fail(
+                    TraversalFailed(
+                        at.travel_id,
+                        f"no progress for {idle:.1f}s after {restarts} restarts",
+                    )
+                )
+                return
+            restarts += 1
+            self._restart(at)
+
+    def _replay_pending(self, at: ActiveTravel) -> bool:
+        """Fine-grained recovery: re-request every lost execution from its
+        creator instead of restarting the traversal. Returns False when any
+        pending execution cannot be replayed (caller falls back to restart).
+        """
+        tracker: ExecTracker = at.tracker  # type: ignore[assignment]
+        pending = list(tracker.pending.items())
+        if not pending or tracker.early_terminated:
+            # Orphan terminations mean creation reports were lost — replay
+            # cannot reconstruct those registrations; restart instead.
+            return False
+        at.replay_rounds += 1
+        stats = self.board.stats(at.travel_id)
+        for eid, (_target, _level, origin) in pending:
+            stats.replays += 1
+            if origin == -1:
+                dst, request = at.initial_sent[eid]
+                self._send(at.travel_id, dst, request)
+            else:
+                self._send(
+                    at.travel_id,
+                    origin,
+                    ReplayExec(at.travel_id, exec_id=eid, attempt=at.entry.attempt),
+                )
+        tracker.last_activity = self.ctx.now()  # give replays time to land
+        return True
+
+    def _restart(self, at: ActiveTravel) -> None:
+        """Restart the traversal from scratch under a new attempt number."""
+        attempt = self.registry.bump_attempt(at.travel_id)
+        self.board.reset(at.travel_id)
+        self.board.stats(at.travel_id).restarts = attempt
+        at.returned.clear()
+        at.initial_sent.clear()
+        at.replay_rounds = 0
+        # restarted traversals re-stream from scratch; the client discards
+        # chunks from the failed attempt
+        at.stream_backlog.clear()
+        at.streamed.clear()
+        at.stream_chunks = 0
+        if self.is_sync:
+            at.tracker = SyncBarrierState(attempt=attempt)
+        else:
+            at.tracker = ExecTracker(attempt=attempt)
+        at.tracker.last_activity = self.ctx.now()
+        self._dispatch(at)
+
+    # -- progress (paper §IV-C) -----------------------------------------------------------
+
+    def progress(self, travel_id: TravelId) -> dict[int, int]:
+        """Outstanding executions per step (async) or the current barrier
+        level (sync), for user-facing progress estimation."""
+        at = self._active.get(travel_id)
+        if at is None:
+            return {}
+        if self.is_sync:
+            barrier: SyncBarrierState = at.tracker  # type: ignore[assignment]
+            return {barrier.level: self.ctx.nservers - len(barrier.done_servers)}
+        return at.tracker.progress()  # type: ignore[union-attr]
+
+    # -- plumbing -----------------------------------------------------------------------------
+
+    def _send(self, travel_id: TravelId, dst: ServerId, msg: Message) -> None:
+        self.board.message(travel_id, msg.nbytes)
+        self.ctx.send(dst, msg)

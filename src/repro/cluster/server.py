@@ -1,0 +1,32 @@
+"""A backend server: storage plus traversal engine, bound to one context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.engine.async_engine import AsyncServerEngine
+from repro.engine.sync_engine import SyncServerEngine
+from repro.ids import ServerId
+from repro.runtime.base import ServerContext
+from repro.storage.layout import GraphStore
+
+ServerEngine = Union[AsyncServerEngine, SyncServerEngine]
+
+
+@dataclass
+class BackendServer:
+    """One node of the cluster, for introspection by tests and benches."""
+
+    server_id: ServerId
+    ctx: ServerContext
+    store: GraphStore
+    engine: ServerEngine
+
+    @property
+    def vertex_count(self) -> int:
+        return self.store.vertex_count()
+
+    @property
+    def queue_length(self) -> int:
+        return self.engine.queue_length if hasattr(self.engine, "queue_length") else 0

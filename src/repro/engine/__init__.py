@@ -1,0 +1,38 @@
+"""Traversal engines: the oracle, Sync-GT, Async-GT, and GraphTrek."""
+
+from repro.engine.async_engine import AsyncServerEngine
+from repro.engine.base import EngineKind, TraversalOutcome, TraversalResult, TraversalStats
+from repro.engine.cache import TraversalAffiliateCache
+from repro.engine.options import (
+    EngineOptions,
+    graphtrek_options,
+    options_for,
+    plain_async_options,
+    sync_options,
+)
+from repro.engine.reference import ReferenceEngine
+from repro.engine.registry import TravelRegistry, analyze_sources
+from repro.engine.statistics import StatsBoard
+from repro.engine.sync_engine import SyncServerEngine
+from repro.engine.tracing import ExecTracker, SyncBarrierState
+
+__all__ = [
+    "AsyncServerEngine",
+    "EngineKind",
+    "TraversalOutcome",
+    "TraversalResult",
+    "TraversalStats",
+    "TraversalAffiliateCache",
+    "EngineOptions",
+    "graphtrek_options",
+    "options_for",
+    "plain_async_options",
+    "sync_options",
+    "ReferenceEngine",
+    "TravelRegistry",
+    "analyze_sources",
+    "StatsBoard",
+    "SyncServerEngine",
+    "ExecTracker",
+    "SyncBarrierState",
+]

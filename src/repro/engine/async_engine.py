@@ -1,0 +1,448 @@
+"""Asynchronous server-side traversal engine (paper §IV–§V).
+
+One :class:`AsyncServerEngine` runs on every backend server. Message flow:
+
+1. :class:`~repro.net.message.TraverseRequest` arrives → coalesce into the
+   pending work unit for its (travel, level) if one is still queued (the
+   absorbed execution terminates immediately), else enqueue a new unit.
+2. A worker pops the queue — smallest step id first when execution
+   scheduling is enabled (§V-B) — and processes the unit's vertices:
+   traversal-affiliate cache check (§V-A), execution merging against other
+   queued levels (§V-B), one disk access per surviving vertex, filter and
+   expand, then dispatch batched requests to the owners of the next-level
+   vertices *without any global synchronization*.
+3. Each processed unit reports an :class:`~repro.net.message.ExecStatus` to
+   the coordinator: its own termination plus every execution it created —
+   the status-tracing protocol of §IV-C.
+4. Final-level vertices produce :class:`~repro.net.message.ResultReport`
+   messages; intermediate ``rtn()`` anchors are confirmed to their owning
+   servers via :class:`~repro.net.message.SuccessReport`, which forward the
+   matched vertices to the coordinator (the Fig. 4 redirection).
+
+The same class implements Async-GT and GraphTrek: option flags switch the
+optimizations (see :mod:`repro.engine.options`). Without the cache, duplicate
+(travel, step, vertex) arrivals pay their disk I/O in full — the redundant
+visits the paper measures — but are never re-dispatched (see DESIGN.md,
+"Termination bookkeeping in Async-GT").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine.cache import TraversalAffiliateCache
+from repro.engine.frontier import (
+    EMPTY_ANCHORS,
+    anchors_covered,
+    intermediate_rtn_levels,
+    merge_entries,
+)
+from repro.engine.options import EngineOptions
+from repro.engine.registry import TravelEntry, TravelRegistry
+from repro.engine.statistics import StatsBoard
+from repro.engine.visit import (
+    ExpandSinks,
+    VisitData,
+    expand_vertex,
+    labels_needed,
+    needs_props,
+    read_vertex,
+)
+from repro.ids import ExecId, ServerId, TravelId, VertexId
+from repro.lang.filters import FilterSet
+from repro.net.message import (
+    Anchors,
+    Entries,
+    ExecStatus,
+    Message,
+    ReplayExec,
+    ResultReport,
+    SuccessReport,
+    TraverseRequest,
+)
+from repro.runtime.base import ServerContext
+from repro.storage.costmodel import IOCost
+from repro.storage.layout import GraphStore
+
+TravelKey = tuple[TravelId, int]  # (travel id, attempt)
+
+#: Effectively unbounded capacity for the Async-GT processed-set (it is
+#: bookkeeping, not the bounded cache optimization).
+_UNBOUNDED = 1 << 60
+
+
+@dataclass
+class PendingWork:
+    """A coalesced (travel, level) work unit waiting in the local queue."""
+
+    travel_key: TravelKey
+    level: int
+    entries: Entries
+    exec_id: ExecId
+    all_sources: bool = False
+    absorbed: int = 0
+
+    @property
+    def travel_id(self) -> TravelId:
+        return self.travel_key[0]
+
+    @property
+    def attempt(self) -> int:
+        return self.travel_key[1]
+
+
+class AsyncServerEngine:
+    """Per-server asynchronous traversal engine."""
+
+    def __init__(
+        self,
+        ctx: ServerContext,
+        store: GraphStore,
+        registry: TravelRegistry,
+        owner_fn: Callable[[VertexId], ServerId],
+        opts: EngineOptions,
+        board: StatsBoard,
+    ):
+        self.ctx = ctx
+        self.store = store
+        self.registry = registry
+        self.owner_fn = owner_fn
+        self.opts = opts
+        self.board = board
+        self.queue = ctx.queue(priority=opts.priority_schedule, name="requests")
+        self._pending: dict[tuple[TravelKey, int], PendingWork] = {}
+        capacity = opts.cache_capacity if opts.cache_enabled else _UNBOUNDED
+        self.seen = TraversalAffiliateCache(capacity)
+        self._rtn_forwarded: dict[tuple[TravelKey, int], set[VertexId]] = {}
+        #: replay buffer for fine-grained recovery: exec id -> (dst, message),
+        #: kept until the traversal completes.
+        self._sent: dict[TravelKey, dict[ExecId, tuple[ServerId, Message]]] = {}
+        self._seq = itertools.count()
+        self._next_exec = itertools.count((ctx.server_id + 1) << 32)
+        self._workers = [
+            ctx.spawn(self._worker(), name=f"worker{i}") for i in range(opts.workers)
+        ]
+
+    # -- message entry point -------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        if isinstance(msg, TraverseRequest):
+            self._on_request(msg)
+        elif isinstance(msg, SuccessReport):
+            self._on_success(msg)
+        elif isinstance(msg, ReplayExec):
+            self._on_replay(msg)
+        else:  # pragma: no cover - protocol misuse guard
+            raise TypeError(f"async engine got unexpected {type(msg).__name__}")
+
+    def _on_replay(self, msg: ReplayExec) -> None:
+        """Fine-grained recovery: re-send a dispatch this server created.
+
+        Unknown exec ids are ignored — the coordinator's watchdog escalates
+        to a full restart if replays do not restore progress.
+        """
+        sent = self._sent.get((msg.travel_id, msg.attempt), {})
+        record = sent.get(msg.exec_id)
+        if record is None:
+            return
+        dst, original = record
+        self._send(msg.travel_id, dst, original)
+
+    def _on_request(self, msg: TraverseRequest) -> None:
+        entry = self.registry.get(msg.travel_id)
+        if entry is None or entry.attempt != msg.attempt:
+            # Stale attempt: terminate the execution so old accounting
+            # quiesces; the coordinator ignores reports from old attempts.
+            self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
+            return
+        tkey = (msg.travel_id, msg.attempt)
+        key = (tkey, msg.level)
+        work = self._pending.get(key)
+        if work is not None:
+            # Queue coalescing: union into the waiting unit; the absorbed
+            # execution terminates immediately, having created nothing.
+            merge_entries(work.entries, msg.entries)
+            work.all_sources = work.all_sources or msg.all_sources
+            work.absorbed += 1
+            self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
+            return
+        work = PendingWork(
+            travel_key=tkey,
+            level=msg.level,
+            entries=dict(msg.entries),
+            exec_id=msg.exec_id,
+            all_sources=msg.all_sources,
+        )
+        self._pending[key] = work
+        priority = msg.level if self.opts.priority_schedule else 0
+        self.ctx.queue_put(self.queue, (priority, next(self._seq), key))
+
+    def _on_success(self, msg: SuccessReport) -> None:
+        """An rtn server learning which of its anchors completed a path."""
+        entry = self.registry.get(msg.travel_id)
+        if entry is None or entry.attempt != msg.attempt:
+            self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, None)
+            return
+        tkey = (msg.travel_id, msg.attempt)
+        fwd_key = (tkey, msg.rtn_level)
+        already = self._rtn_forwarded.setdefault(fwd_key, set())
+        fresh = msg.anchors - already
+        results_sent = 0
+        if fresh:
+            already.update(fresh)
+            self._send_coord(
+                msg.travel_id,
+                ResultReport(
+                    msg.travel_id,
+                    level=msg.rtn_level,
+                    vertices=frozenset(fresh),
+                    attempt=msg.attempt,
+                ),
+            )
+            results_sent = 1
+        self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), results_sent, None)
+
+    # -- worker loop ---------------------------------------------------------------
+
+    def _worker(self):
+        while True:
+            item = yield self.ctx.queue_get(self.queue)
+            _, _, key = item
+            work = self._pending.pop(key, None)
+            if work is None:  # pragma: no cover - defensive
+                continue
+            yield from self._process(work)
+
+    def _process(self, work: PendingWork):
+        travel_id, attempt = work.travel_key
+        entry = self.registry.get(travel_id)
+        if entry is None or entry.attempt != attempt:
+            self._report_status(travel_id, attempt, work.exec_id, (), 0, work.level)
+            return
+        plan = entry.plan
+        level = work.level
+        rtn_levels = intermediate_rtn_levels(plan)
+        level0_override = self._level0_override(work, entry)
+
+        items: list[tuple[VertexId, Anchors]] = list(work.entries.items())
+        if work.all_sources:
+            items.extend(
+                (vid, EMPTY_ANCHORS) for vid in self._source_candidates(entry)
+            )
+        items.sort(key=lambda iv: iv[0])  # key-ordered batch (elevator pass)
+        yield self.ctx.cpu(
+            self.opts.cpu_per_request
+            + self.opts.cpu_async_overhead
+            + self.opts.cpu_per_vertex * len(items)
+        )
+
+        sinks = ExpandSinks()
+        first_in_batch = True
+        for vid, anchors in items:
+            did_io = yield from self._visit(
+                work, plan, level, vid, anchors, sinks, rtn_levels,
+                level0_override, first_in_batch,
+            )
+            if did_io:
+                first_in_batch = False
+
+        created, results_sent = self._flush(work, plan, sinks)
+        self._report_status(
+            travel_id, attempt, work.exec_id, tuple(created), results_sent, level
+        )
+
+    def _level0_override(
+        self, work: PendingWork, entry: TravelEntry
+    ) -> Optional[FilterSet]:
+        """When enumerating sources via the type index, the type filter is
+        already satisfied and must not force an attribute read."""
+        if work.level == 0 and work.all_sources and entry.source_info.index_type:
+            return entry.source_info.reduced_filters
+        return None
+
+    def _source_candidates(self, entry: TravelEntry) -> list[VertexId]:
+        info = entry.source_info
+        if info.index_type is not None:
+            return sorted(self.store.local_vertices_of_type(info.index_type))
+        return sorted(self.store.local_vertices())
+
+    # -- per-vertex visit ------------------------------------------------------------
+
+    def _visit(
+        self,
+        work: PendingWork,
+        plan,
+        level: int,
+        vid: VertexId,
+        anchors: Anchors,
+        sinks: ExpandSinks,
+        rtn_levels: tuple[int, ...],
+        level0_override: Optional[FilterSet],
+        first_in_batch: bool,
+    ):
+        """Serve one vertex request; returns True if it reached the disk."""
+        travel_id = work.travel_id
+        server = self.ctx.server_id
+        tkey = work.travel_key
+        if not self.store.has_vertex(vid):
+            return False  # dangling dispatch; nothing stored here
+        if self.opts.cache_enabled:
+            stored = self.seen.lookup(tkey, level, vid)
+            if stored is not None and anchors_covered(anchors, stored):
+                # Traversal-affiliate cache hit: safely abandon the request.
+                self.board.visit(travel_id, server, "redundant")
+                return False
+
+        todo: list[tuple[int, Anchors]] = [(level, anchors)]
+        if self.opts.merge_enabled:
+            todo.extend(self._extract_merged(tkey, vid, level))
+
+        levels = [lvl for lvl, _ in todo]
+        want_labels = labels_needed(plan, levels)
+        want_props = needs_props(plan, levels, level0_override)
+        if not want_labels and not want_props:
+            # Nothing to read (e.g. unfiltered final level): served from the
+            # request itself, still one real visit for accounting.
+            data = None
+        else:
+            data = read_vertex(self.store, vid, want_labels, want_props)
+            cost = data.cost
+            if not first_in_batch and cost.seeks:
+                cost.seeks *= self.opts.batch_seek_factor
+            # Execution merging shares the seek/scan, but each merged item
+            # still decodes the block it needs (one re-read from cache).
+            cost.cache_hits += len(todo) - 1
+            yield self.ctx.disk(cost, level=level, accesses=1)
+
+        self.board.visit(travel_id, server, "real")
+        self.board.visit(travel_id, server, "combined", len(todo) - 1)
+
+        vertex_type = self.store.namespace_of(vid)
+        if data is None:
+            data = VisitData(props=None, edges={}, cost=IOCost())
+        for lvl, anc in todo:
+            stored = self.seen.lookup(tkey, lvl, vid)
+            if stored is not None and anchors_covered(anc, stored):
+                # Already expanded with these anchors (post-I/O duplicate in
+                # Async-GT, or a merged item another path served first):
+                # skip the downstream dispatch to preserve termination.
+                continue
+            self.seen.insert(tkey, lvl, vid, anc)
+            expand_vertex(
+                plan, lvl, vid, anc, data, self.owner_fn, sinks, rtn_levels,
+                vertex_type, level0_override if lvl == 0 else None,
+            )
+        return data.cost.seeks > 0 or data.cost.blocks > 0
+
+    def _extract_merged(
+        self, tkey: TravelKey, vid: VertexId, level: int
+    ) -> list[tuple[int, Anchors]]:
+        """Execution merging (§V-B): pull same-vertex requests at other
+        levels out of the local queue so this disk access serves them too."""
+        merged: list[tuple[int, Anchors]] = []
+        for (pkey, plevel), other in self._pending.items():
+            if pkey != tkey or plevel == level:
+                continue
+            anc = other.entries.pop(vid, None)
+            if anc is not None:
+                merged.append((plevel, anc))
+        return merged
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def _flush(
+        self, work: PendingWork, plan, sinks: ExpandSinks
+    ) -> tuple[list[tuple[ExecId, ServerId, int]], int]:
+        travel_id, attempt = work.travel_key
+        sent = self._sent.setdefault(work.travel_key, {})
+        created: list[tuple[ExecId, ServerId, int]] = []
+        for (nlvl, target), entries in sorted(sinks.out.items()):
+            eid = next(self._next_exec)
+            created.append((eid, target, nlvl))
+            request = TraverseRequest(
+                travel_id,
+                level=nlvl,
+                entries=entries,
+                exec_id=eid,
+                from_server=self.ctx.server_id,
+                attempt=attempt,
+            )
+            sent[eid] = (target, request)
+            self._send(travel_id, target, request)
+        for (rtn_level, owner), anchors in sorted(sinks.anchors_by_owner.items()):
+            eid = next(self._next_exec)
+            created.append((eid, owner, plan.final_level))
+            success = SuccessReport(
+                travel_id,
+                rtn_level=rtn_level,
+                anchors=frozenset(anchors),
+                exec_id=eid,
+                attempt=attempt,
+            )
+            sent[eid] = (owner, success)
+            self._send(travel_id, owner, success)
+        results_sent = 0
+        if sinks.final_results and plan.final_level in plan.return_levels:
+            self._send_coord(
+                travel_id,
+                ResultReport(
+                    travel_id,
+                    level=plan.final_level,
+                    vertices=frozenset(sinks.final_results),
+                    attempt=attempt,
+                ),
+            )
+            results_sent = 1
+        return created, results_sent
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def _send(self, travel_id: TravelId, dst: ServerId, msg: Message) -> None:
+        self.board.message(travel_id, msg.nbytes)
+        self.ctx.send(dst, msg)
+
+    def _send_coord(self, travel_id: TravelId, msg: Message) -> None:
+        self.board.message(travel_id, msg.nbytes)
+        self.ctx.send_coordinator(msg)
+
+    def _report_status(
+        self,
+        travel_id: TravelId,
+        attempt: int,
+        exec_id: ExecId,
+        created: tuple[tuple[ExecId, ServerId, int], ...],
+        results_sent: int,
+        level: Optional[int],
+    ) -> None:
+        self.board.execution(travel_id)
+        self._send_coord(
+            travel_id,
+            ExecStatus(
+                travel_id,
+                exec_id=exec_id,
+                server=self.ctx.server_id,
+                created=created,
+                results_sent=results_sent,
+                level=level,
+                attempt=attempt,
+            ),
+        )
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def forget_travel(self, travel_id: TravelId) -> None:
+        """Release per-traversal state after the coordinator reports
+        completion (in-process cleanup; costs no simulated time)."""
+        self.seen.forget_travel_prefix(travel_id)
+        for key in [k for k in self._pending if k[0][0] == travel_id]:
+            del self._pending[key]
+        for key in [k for k in self._rtn_forwarded if k[0][0] == travel_id]:
+            del self._rtn_forwarded[key]
+        for key in [k for k in self._sent if k[0] == travel_id]:
+            del self._sent[key]
+
+    @property
+    def queue_length(self) -> int:
+        return self.ctx.queue_len(self.queue)

@@ -1,0 +1,256 @@
+"""Level-synchronous server-side traversal engine — the Sync-GT baseline.
+
+Follows the paper's fair-comparison design (§VI): server-side traversal with
+a controller (the coordinator) that globally synchronizes every step. Data
+flows directly between backend servers; the coordinator only exchanges
+control messages:
+
+1. the coordinator announces step k with the number of frontier batches each
+   server must expect (:class:`~repro.net.message.SyncStartStep`);
+2. each server waits for exactly that many :class:`~repro.net.message.SyncBatch`
+   deliveries, unions them (per-step deduplication is free under a barrier),
+   processes every vertex, ships next-level batches to their owners, and
+   reports :class:`~repro.net.message.SyncStepDone` with its per-destination
+   send counts;
+3. when all servers report, the coordinator aggregates the counts and
+   releases step k+1.
+
+Final-level vertices (and completed rtn anchors) go straight to the
+coordinator as :class:`~repro.net.message.ResultReport` messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.engine.frontier import EMPTY_ANCHORS, intermediate_rtn_levels, merge_entries
+from repro.engine.options import EngineOptions
+from repro.engine.registry import TravelEntry, TravelRegistry
+from repro.engine.statistics import StatsBoard
+from repro.engine.visit import (
+    ExpandSinks,
+    VisitData,
+    expand_vertex,
+    labels_needed,
+    needs_props,
+    read_vertex,
+)
+from repro.ids import ServerId, TravelId, VertexId
+from repro.lang.filters import FilterSet
+from repro.net.message import (
+    Anchors,
+    Entries,
+    Message,
+    ResultReport,
+    SyncBatch,
+    SyncStartStep,
+    SyncStepDone,
+)
+from repro.runtime.base import ServerContext
+from repro.storage.costmodel import IOCost
+from repro.storage.layout import GraphStore
+
+TravelKey = tuple[TravelId, int]
+
+
+class SyncServerEngine:
+    """Per-server synchronous engine."""
+
+    def __init__(
+        self,
+        ctx: ServerContext,
+        store: GraphStore,
+        registry: TravelRegistry,
+        owner_fn: Callable[[VertexId], ServerId],
+        opts: EngineOptions,
+        board: StatsBoard,
+    ):
+        self.ctx = ctx
+        self.store = store
+        self.registry = registry
+        self.owner_fn = owner_fn
+        self.opts = opts
+        self.board = board
+        self.queue = ctx.queue(priority=False, name="sync-steps")
+        self._buffers: dict[tuple[TravelKey, int], Entries] = {}
+        self._batch_counts: dict[tuple[TravelKey, int], int] = {}
+        #: (expect_batches, all_sources) once the start order arrived
+        self._expected: dict[tuple[TravelKey, int], tuple[int, bool]] = {}
+        self._seq = itertools.count()
+        self._worker_proc = ctx.spawn(self._worker(), name="sync-worker")
+
+    # -- message entry point ---------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        if isinstance(msg, SyncBatch):
+            self._on_batch(msg)
+        elif isinstance(msg, SyncStartStep):
+            self._on_start(msg)
+        else:  # pragma: no cover - protocol misuse guard
+            raise TypeError(f"sync engine got unexpected {type(msg).__name__}")
+
+    def _stale(self, travel_id: TravelId, attempt: int) -> bool:
+        entry = self.registry.get(travel_id)
+        return entry is None or entry.attempt != attempt
+
+    def _on_batch(self, msg: SyncBatch) -> None:
+        if self._stale(msg.travel_id, msg.attempt):
+            return
+        key = ((msg.travel_id, msg.attempt), msg.level)
+        buf = self._buffers.setdefault(key, {})
+        merge_entries(buf, msg.entries)
+        self._batch_counts[key] = self._batch_counts.get(key, 0) + 1
+        self._try_start(key)
+
+    def _on_start(self, msg: SyncStartStep) -> None:
+        if self._stale(msg.travel_id, msg.attempt):
+            return
+        key = ((msg.travel_id, msg.attempt), msg.level)
+        self._expected[key] = (msg.expect_batches, msg.all_sources)
+        self._try_start(key)
+
+    def _try_start(self, key: tuple[TravelKey, int]) -> None:
+        expected = self._expected.get(key)
+        if expected is None:
+            return
+        if self._batch_counts.get(key, 0) >= expected[0]:
+            del self._expected[key]
+            self.ctx.queue_put(self.queue, (0, next(self._seq), key))
+
+    # -- step processing ------------------------------------------------------------
+
+    def _worker(self):
+        while True:
+            item = yield self.ctx.queue_get(self.queue)
+            _, _, key = item
+            yield from self._process_step(key)
+
+    def _process_step(self, key: tuple[TravelKey, int]):
+        (travel_id, attempt), level = key
+        entries = self._buffers.pop(key, {})
+        self._batch_counts.pop(key, None)
+        entry = self.registry.get(travel_id)
+        if entry is None or entry.attempt != attempt:
+            return
+        plan = entry.plan
+        rtn_levels = intermediate_rtn_levels(plan)
+        all_sources = level == 0 and plan.source_ids is None
+        level0_override: Optional[FilterSet] = None
+        if all_sources:
+            for vid in self._source_candidates(entry):
+                entries.setdefault(vid, EMPTY_ANCHORS)
+            if entry.source_info.index_type:
+                level0_override = entry.source_info.reduced_filters
+
+        items = sorted(entries.items(), key=lambda iv: iv[0])
+        yield self.ctx.cpu(
+            self.opts.cpu_per_request + self.opts.cpu_per_vertex * len(items)
+        )
+
+        sinks = ExpandSinks()
+        want_labels = labels_needed(plan, [level])
+        want_props = needs_props(plan, [level], level0_override)
+        first_in_batch = True
+        for vid, anchors in items:
+            if not self.store.has_vertex(vid):
+                continue
+            if want_labels or want_props:
+                data = read_vertex(self.store, vid, want_labels, want_props)
+                cost = data.cost
+                if not first_in_batch and cost.seeks:
+                    cost.seeks *= self.opts.batch_seek_factor
+                yield self.ctx.disk(cost, level=level, accesses=1)
+                first_in_batch = False
+            else:
+                data = VisitData(props=None, edges={}, cost=IOCost())
+            self.board.visit(travel_id, self.ctx.server_id, "real")
+            expand_vertex(
+                plan, level, vid, anchors, data, self.owner_fn, sinks, rtn_levels,
+                self.store.namespace_of(vid),
+                level0_override,
+            )
+
+        results_sent = self._emit_results(travel_id, attempt, plan, sinks)
+        sent_counts: dict[ServerId, int] = {}
+        for (nlvl, target), out_entries in sorted(sinks.out.items()):
+            self._send(
+                travel_id,
+                target,
+                SyncBatch(
+                    travel_id,
+                    level=nlvl,
+                    entries=out_entries,
+                    from_server=self.ctx.server_id,
+                    attempt=attempt,
+                ),
+            )
+            sent_counts[target] = sent_counts.get(target, 0) + 1
+        self.board.execution(travel_id)
+        self._send_coord(
+            travel_id,
+            SyncStepDone(
+                travel_id,
+                level=level,
+                server=self.ctx.server_id,
+                sent_counts=sent_counts,
+                results_sent=results_sent,
+                attempt=attempt,
+            ),
+        )
+
+    def _emit_results(self, travel_id, attempt, plan, sinks: ExpandSinks) -> int:
+        """Ship final vertices and completed rtn anchors to the coordinator.
+
+        The synchronous baseline returns everything through its controller;
+        the async engines' report-destination redirection (Fig. 4) has no
+        synchronous counterpart.
+        """
+        results_sent = 0
+        if sinks.final_results and plan.final_level in plan.return_levels:
+            self._send_coord(
+                travel_id,
+                ResultReport(
+                    travel_id,
+                    level=plan.final_level,
+                    vertices=frozenset(sinks.final_results),
+                    attempt=attempt,
+                ),
+            )
+            results_sent += 1
+        by_level: dict[int, set[VertexId]] = {}
+        for (rtn_level, _owner), anchors in sinks.anchors_by_owner.items():
+            by_level.setdefault(rtn_level, set()).update(anchors)
+        for rtn_level, anchors in sorted(by_level.items()):
+            self._send_coord(
+                travel_id,
+                ResultReport(
+                    travel_id,
+                    level=rtn_level,
+                    vertices=frozenset(anchors),
+                    attempt=attempt,
+                ),
+            )
+            results_sent += 1
+        return results_sent
+
+    def _source_candidates(self, entry: TravelEntry) -> list[VertexId]:
+        info = entry.source_info
+        if info.index_type is not None:
+            return sorted(self.store.local_vertices_of_type(info.index_type))
+        return sorted(self.store.local_vertices())
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _send(self, travel_id: TravelId, dst: ServerId, msg: Message) -> None:
+        self.board.message(travel_id, msg.nbytes)
+        self.ctx.send(dst, msg)
+
+    def _send_coord(self, travel_id: TravelId, msg: Message) -> None:
+        self.board.message(travel_id, msg.nbytes)
+        self.ctx.send_coordinator(msg)
+
+    def forget_travel(self, travel_id: TravelId) -> None:
+        for store in (self._buffers, self._batch_counts, self._expected):
+            for key in [k for k in store if k[0][0] == travel_id]:
+                del store[key]

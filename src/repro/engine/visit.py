@@ -1,0 +1,151 @@
+"""Shared per-vertex visit logic: disk-cost assembly and expansion semantics.
+
+Both engines funnel every vertex visit through these helpers so that the
+traversal *semantics* (filters, anchors, returns) are identical by
+construction; only the coordination strategy differs between Sync-GT and the
+asynchronous engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.engine.frontier import extend_anchors, merge_entry
+from repro.ids import ServerId, VertexId
+from repro.lang.filters import FilterSet
+from repro.lang.plan import TraversalPlan
+from repro.net.message import Anchors, Entries
+from repro.storage.costmodel import IOCost
+from repro.storage.layout import GraphStore
+
+#: edges grouped by label: label -> [(dst, props), ...]
+EdgesByLabel = dict[str, list[tuple[VertexId, dict[str, Any]]]]
+
+
+@dataclass
+class VisitData:
+    """What one disk access to a vertex yielded."""
+
+    props: Optional[dict[str, Any]]  # None when no filter needed attributes
+    edges: EdgesByLabel
+    cost: IOCost
+
+
+@dataclass
+class ExpandSinks:
+    """Accumulators one request-processing pass writes into."""
+
+    #: (next level, owner server) -> entries to dispatch
+    out: dict[tuple[int, ServerId], Entries] = field(default_factory=dict)
+    #: final-level vertices to return (when the final level is returned)
+    final_results: set[VertexId] = field(default_factory=set)
+    #: (rtn level, owner server) -> anchors that completed a path
+    anchors_by_owner: dict[tuple[int, ServerId], set[VertexId]] = field(
+        default_factory=dict
+    )
+
+
+def labels_needed(plan: TraversalPlan, levels: list[int]) -> set[str]:
+    """Edge labels a combined visit at these levels must scan."""
+    labels: set[str] = set()
+    for lvl in levels:
+        if lvl < plan.final_level:
+            labels.update(plan.steps[lvl].labels)
+    return labels
+
+
+def filters_at(
+    plan: TraversalPlan, level: int, level0_override: Optional[FilterSet]
+) -> FilterSet:
+    """Vertex filters applied to a vertex arriving at ``level``."""
+    if level == 0:
+        return level0_override if level0_override is not None else plan.source_filters
+    return plan.steps[level - 1].vertex_filters
+
+
+def needs_props(
+    plan: TraversalPlan, levels: list[int], level0_override: Optional[FilterSet]
+) -> bool:
+    return any(bool(filters_at(plan, lvl, level0_override)) for lvl in levels)
+
+
+def read_vertex(
+    store: GraphStore,
+    vid: VertexId,
+    want_labels: set[str],
+    want_props: bool,
+) -> VisitData:
+    """Perform the (single) storage access for a visit.
+
+    One label → one sequential edge scan; several labels → one scan over the
+    vertex's whole edge block (the layout keeps all its edges adjacent), as
+    execution merging requires. Attribute scan added only when filters need
+    properties.
+    """
+    cost = IOCost()
+    props: Optional[dict[str, Any]] = None
+    if want_props:
+        props, c = store.vertex_props(vid)
+        cost += c
+    edges: EdgesByLabel = {}
+    if len(want_labels) == 1:
+        label = next(iter(want_labels))
+        targets, c = store.edges(vid, label)
+        cost += c
+        edges[label] = targets
+    elif want_labels:
+        all_edges, c = store.all_edges(vid)
+        cost += c
+        for label, dst, eprops in all_edges:
+            if label in want_labels:
+                edges.setdefault(label, []).append((dst, eprops))
+        for label in want_labels:
+            edges.setdefault(label, [])
+    return VisitData(props=props, edges=edges, cost=cost)
+
+
+def expand_vertex(
+    plan: TraversalPlan,
+    level: int,
+    vid: VertexId,
+    anchors: Anchors,
+    data: VisitData,
+    owner_fn: Callable[[VertexId], ServerId],
+    sinks: ExpandSinks,
+    rtn_levels: tuple[int, ...],
+    vertex_type: Optional[str],
+    level0_override: Optional[FilterSet] = None,
+) -> str:
+    """Apply filters and produce next-level entries / returns for one
+    (level, vertex, anchors) item whose disk data is already in hand.
+
+    Returns one of ``"filtered"``, ``"final"``, ``"expanded"`` for metrics.
+    """
+    vfilters = filters_at(plan, level, level0_override)
+    if vfilters:
+        props = dict(data.props) if data.props is not None else {}
+        if vertex_type is not None:
+            props.setdefault("type", vertex_type)
+        if not vfilters.matches(props):
+            return "filtered"
+    if level in rtn_levels:
+        anchors = extend_anchors(anchors, vid)
+    if level == plan.final_level:
+        if plan.final_level in plan.return_levels:
+            sinks.final_results.add(vid)
+        for i, rtn_level in enumerate(rtn_levels):
+            for anchor in anchors[i]:
+                sinks.anchors_by_owner.setdefault(
+                    (rtn_level, owner_fn(anchor)), set()
+                ).add(anchor)
+        return "final"
+    step = plan.steps[level]
+    next_level = level + 1
+    for label in step.labels:
+        for dst, eprops in data.edges.get(label, ()):
+            if step.edge_filters and not step.edge_filters.matches(eprops):
+                continue
+            bucket = sinks.out.setdefault((next_level, owner_fn(dst)), {})
+            merge_entry(bucket, dst, anchors)
+    return "expanded"

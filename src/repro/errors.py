@@ -1,0 +1,56 @@
+"""Common exception types for the GraphTrek reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class StorageError(ReproError):
+    """Raised by the key-value / graph storage layer."""
+
+
+class KeyNotFound(StorageError):
+    """A requested key (or vertex) does not exist in the store."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid property-graph construction or lookups."""
+
+
+class PartitionError(ReproError):
+    """Raised by graph partitioners for invalid configurations."""
+
+
+class QueryError(ReproError):
+    """Raised when a GTravel query is malformed or cannot be compiled."""
+
+
+class TraversalError(ReproError):
+    """Raised when a distributed traversal fails at execution time."""
+
+
+class TraversalFailed(TraversalError):
+    """A traversal was detected as failed (lost execution / timeout).
+
+    Carries ``travel_id`` and a human-readable ``reason`` so that callers
+    (and the coordinator's restart logic) can act on it.
+    """
+
+    def __init__(self, travel_id: int, reason: str):
+        super().__init__(f"traversal {travel_id} failed: {reason}")
+        self.travel_id = travel_id
+        self.reason = reason
+
+
+class RuntimeUnavailable(ReproError):
+    """Raised when an operation requires a runtime feature that is absent."""

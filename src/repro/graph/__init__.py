@@ -1,0 +1,41 @@
+"""Property-graph data model: vertices, edges, schemas, builders, stats."""
+
+from repro.graph.builder import GraphBuilder, PropertyGraph
+from repro.graph.edge import Edge
+from repro.graph.property import props_size_bytes, validate_props
+from repro.graph.schema import EdgeRule, Schema, hpc_metadata_schema
+from repro.graph.stats import (
+    DegreeStats,
+    degree_histogram,
+    degree_stats,
+    effective_diameter_sample,
+    fit_powerlaw_alpha,
+    gini,
+    imbalance_factor,
+    in_degree_stats,
+    out_degree_stats,
+    small_world_summary,
+)
+from repro.graph.vertex import Vertex
+
+__all__ = [
+    "GraphBuilder",
+    "PropertyGraph",
+    "Edge",
+    "Vertex",
+    "EdgeRule",
+    "Schema",
+    "hpc_metadata_schema",
+    "props_size_bytes",
+    "validate_props",
+    "DegreeStats",
+    "degree_histogram",
+    "degree_stats",
+    "effective_diameter_sample",
+    "fit_powerlaw_alpha",
+    "gini",
+    "imbalance_factor",
+    "in_degree_stats",
+    "out_degree_stats",
+    "small_world_summary",
+]

@@ -1,0 +1,29 @@
+"""Edge records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.property import validate_props
+from repro.ids import VertexId
+
+
+@dataclass
+class Edge:
+    """A directed, labelled edge with scalar properties.
+
+    Edges are stored on (and owned by) their *source* vertex's server under
+    the edge-cut partitioning the paper uses, grouped by ``label`` for
+    sequential iteration.
+    """
+
+    src: VertexId
+    dst: VertexId
+    label: str
+    props: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("edge label must be non-empty")
+        self.props = validate_props(self.props, f"edge {self.src}->{self.dst}")

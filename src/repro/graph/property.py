@@ -1,0 +1,47 @@
+"""Property values and property maps.
+
+Properties are flat ``str -> scalar`` maps on vertices and edges. Scalars
+are the types the value codec supports (int, float, str, bytes, bool, None).
+:func:`validate_props` rejects anything else early, so storage errors cannot
+surface deep inside a traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import GraphError
+
+SCALAR_TYPES = (int, float, str, bytes, bool, type(None))
+
+
+def validate_props(props: Mapping[str, Any], where: str = "entity") -> dict[str, Any]:
+    """Validate and shallow-copy a property map."""
+    out: dict[str, Any] = {}
+    for key, value in props.items():
+        if not isinstance(key, str) or not key:
+            raise GraphError(f"{where}: property keys must be non-empty str, got {key!r}")
+        if not isinstance(value, SCALAR_TYPES):
+            raise GraphError(
+                f"{where}: property {key!r} has unsupported type "
+                f"{type(value).__name__}"
+            )
+        out[key] = value
+    return out
+
+
+def props_size_bytes(props: Mapping[str, Any]) -> int:
+    """Approximate serialized size; used by workload generators to hit the
+    paper's 128-byte attribute payloads."""
+    total = 8
+    for key, value in props.items():
+        total += 8 + len(key.encode("utf-8")) + 1
+        if isinstance(value, bool) or value is None:
+            total += 1
+        elif isinstance(value, (int, float)):
+            total += 8
+        elif isinstance(value, str):
+            total += 8 + len(value.encode("utf-8"))
+        elif isinstance(value, bytes):
+            total += 8 + len(value)
+    return total

@@ -1,0 +1,73 @@
+"""Optional schema declarations for heterogeneous metadata graphs.
+
+A :class:`Schema` names the vertex types and constrains each edge label to a
+(source type, destination type) pair, mirroring the paper's Fig. 1 model
+(User --run--> Execution --read/write--> File, ...). Schemas are advisory:
+graphs may be built without one, but when present the builder enforces it,
+which catches generator bugs early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class EdgeRule:
+    """One allowed edge shape: label connecting src_type -> dst_type."""
+
+    label: str
+    src_type: str
+    dst_type: str
+
+
+@dataclass
+class Schema:
+    """A set of vertex types and edge rules."""
+
+    vertex_types: set[str] = field(default_factory=set)
+    edge_rules: dict[str, list[EdgeRule]] = field(default_factory=dict)
+
+    def add_vertex_type(self, vtype: str) -> "Schema":
+        self.vertex_types.add(vtype)
+        return self
+
+    def add_edge_rule(self, label: str, src_type: str, dst_type: str) -> "Schema":
+        for vtype in (src_type, dst_type):
+            if vtype not in self.vertex_types:
+                raise GraphError(f"edge rule references unknown vertex type {vtype!r}")
+        self.edge_rules.setdefault(label, []).append(EdgeRule(label, src_type, dst_type))
+        return self
+
+    def check_vertex(self, vtype: str) -> None:
+        if vtype not in self.vertex_types:
+            raise GraphError(f"vertex type {vtype!r} not in schema")
+
+    def check_edge(self, label: str, src_type: str, dst_type: str) -> None:
+        rules = self.edge_rules.get(label)
+        if rules is None:
+            raise GraphError(f"edge label {label!r} not in schema")
+        for rule in rules:
+            if rule.src_type == src_type and rule.dst_type == dst_type:
+                return
+        raise GraphError(
+            f"edge {label!r} from {src_type!r} to {dst_type!r} violates schema"
+        )
+
+
+def hpc_metadata_schema() -> Schema:
+    """The paper's rich-metadata schema (Fig. 1 plus the Table III labels)."""
+    schema = Schema()
+    for vtype in ("User", "Job", "Execution", "File"):
+        schema.add_vertex_type(vtype)
+    schema.add_edge_rule("run", "User", "Job")
+    schema.add_edge_rule("run", "User", "Execution")
+    schema.add_edge_rule("hasExecutions", "Job", "Execution")
+    schema.add_edge_rule("exe", "Execution", "File")
+    schema.add_edge_rule("read", "Execution", "File")
+    schema.add_edge_rule("write", "Execution", "File")
+    schema.add_edge_rule("readBy", "File", "Execution")
+    schema.add_edge_rule("writtenBy", "File", "Execution")
+    return schema

@@ -1,0 +1,165 @@
+"""Graph statistics: degree distributions, power-law fits, imbalance.
+
+The paper motivates asynchrony with the small-world / power-law structure of
+HPC metadata graphs; these helpers quantify that structure for generated
+workloads (and back the Table II report).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.builder import PropertyGraph
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a degree distribution."""
+
+    count: int
+    mean: float
+    maximum: int
+    p50: float
+    p99: float
+    gini: float
+    powerlaw_alpha: float
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+
+def fit_powerlaw_alpha(degrees: np.ndarray, dmin: int = 1) -> float:
+    """MLE exponent for a discrete power law ``p(d) ~ d^-alpha``.
+
+    Uses the continuous approximation (Clauset et al. 2009, eq. 3.1 with the
+    -1/2 discreteness correction). Degrees below ``dmin`` are excluded.
+    Returns NaN when fewer than 2 samples qualify.
+    """
+    tail = degrees[degrees >= dmin]
+    if tail.size < 2:
+        return float("nan")
+    shifted = tail / (dmin - 0.5)
+    return 1.0 + tail.size / float(np.sum(np.log(shifted)))
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of non-negative values (0 = balanced, →1 = skewed)."""
+    if values.size == 0:
+        return 0.0
+    sorted_vals = np.sort(values.astype(np.float64))
+    total = sorted_vals.sum()
+    if total <= 0:
+        return 0.0
+    n = sorted_vals.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * sorted_vals)) / (n * total) - (n + 1.0) / n)
+
+
+def degree_stats(degrees: np.ndarray) -> DegreeStats:
+    if degrees.size == 0:
+        return DegreeStats(0, 0.0, 0, 0.0, 0.0, 0.0, float("nan"))
+    return DegreeStats(
+        count=int(degrees.size),
+        mean=float(degrees.mean()),
+        maximum=int(degrees.max()),
+        p50=float(np.percentile(degrees, 50)),
+        p99=float(np.percentile(degrees, 99)),
+        gini=gini(degrees),
+        powerlaw_alpha=fit_powerlaw_alpha(degrees),
+    )
+
+
+def out_degree_stats(graph: PropertyGraph) -> DegreeStats:
+    degrees = np.array([graph.out_degree(v) for v in graph.vertex_ids()], dtype=np.int64)
+    return degree_stats(degrees)
+
+
+def in_degree_stats(graph: PropertyGraph) -> DegreeStats:
+    in_deg = graph.in_degrees()
+    degrees = np.array(
+        [in_deg.get(v, 0) for v in graph.vertex_ids()], dtype=np.int64
+    )
+    return degree_stats(degrees)
+
+
+def degree_histogram(graph: PropertyGraph) -> Counter:
+    """out-degree -> vertex count."""
+    hist: Counter = Counter()
+    for vid in graph.vertex_ids():
+        hist[graph.out_degree(vid)] += 1
+    return hist
+
+
+def imbalance_factor(loads: np.ndarray) -> float:
+    """max/mean load ratio — 1.0 is perfectly balanced.
+
+    Used to characterize partition skew (the straggler driver).
+    """
+    if loads.size == 0:
+        return 1.0
+    mean = loads.mean()
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def entropy_bits(values: np.ndarray) -> float:
+    """Shannon entropy of a load distribution, in bits."""
+    total = values.sum()
+    if total <= 0:
+        return 0.0
+    p = values[values > 0] / total
+    return float(-np.sum(p * np.log2(p)))
+
+
+def small_world_summary(graph: PropertyGraph) -> dict[str, float]:
+    """A compact structural fingerprint used by workload tests."""
+    out = out_degree_stats(graph)
+    inn = in_degree_stats(graph)
+    return {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "out_alpha": out.powerlaw_alpha,
+        "in_alpha": inn.powerlaw_alpha,
+        "out_gini": out.gini,
+        "in_gini": inn.gini,
+        "max_out_degree": out.maximum,
+        "max_in_degree": inn.maximum,
+        "mean_out_degree": out.mean,
+    }
+
+
+def effective_diameter_sample(
+    graph: PropertyGraph, rng: np.random.Generator, samples: int = 8
+) -> float:
+    """Approximate 90th-percentile BFS eccentricity from sampled sources.
+
+    Treats edges as undirected is *not* done — we follow out-edges only,
+    matching what a traversal can reach. Unreachable vertices are ignored.
+    """
+    vids = list(graph.vertex_ids())
+    if not vids:
+        return 0.0
+    dists: list[int] = []
+    for _ in range(min(samples, len(vids))):
+        src = vids[int(rng.integers(len(vids)))]
+        seen = {src: 0}
+        frontier = [src]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt = []
+            for v in frontier:
+                for _, dst, _ in graph.out_edges(v):
+                    if dst not in seen:
+                        seen[dst] = depth
+                        nxt.append(dst)
+            frontier = nxt
+        dists.extend(seen.values())
+    if not dists:
+        return 0.0
+    return float(np.percentile(np.array(dists), 90))

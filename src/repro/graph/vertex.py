@@ -1,0 +1,33 @@
+"""Vertex records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.property import validate_props
+from repro.ids import VertexId
+
+
+@dataclass
+class Vertex:
+    """A typed vertex with arbitrary scalar properties.
+
+    ``vtype`` is the entity kind (``"User"``, ``"Execution"``, ``"File"`` …)
+    and doubles as the storage namespace. It is also exposed to queries as
+    the reserved property ``"type"`` so paper queries like
+    ``va('type', EQ, 'Execution')`` work unchanged.
+    """
+
+    vid: VertexId
+    vtype: str
+    props: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.props = validate_props(self.props, f"vertex {self.vid}")
+
+    def effective_props(self) -> dict[str, Any]:
+        """Props as filters see them: user props plus the reserved ``type``."""
+        merged = dict(self.props)
+        merged.setdefault("type", self.vtype)
+        return merged

@@ -1,0 +1,41 @@
+"""Identifier helpers shared across the library.
+
+Vertices and edges are identified by plain integers (``VertexId`` /
+``EdgeId``) to keep hot paths allocation-free; servers by small integers
+(``ServerId``); traversals by monotonically increasing ``TravelId`` values
+handed out by the coordinator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+VertexId = int
+EdgeId = int
+ServerId = int
+TravelId = int
+ExecId = int
+
+
+class IdAllocator:
+    """Monotonic id allocator with an optional starting value.
+
+    Used for travel ids and execution ids, where uniqueness within one
+    cluster lifetime is all that is required.
+    """
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+
+    def next(self) -> int:
+        """Return the next unused id."""
+        return next(self._counter)
+
+    def take(self, n: int) -> list[int]:
+        """Return ``n`` fresh ids as a list."""
+        return [next(self._counter) for _ in range(n)]
+
+    def stream(self) -> Iterator[int]:
+        """Return the underlying infinite iterator (shared state)."""
+        return self._counter

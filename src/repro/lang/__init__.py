@@ -1,0 +1,18 @@
+"""GTravel: the traversal-aware query language of the paper (§III)."""
+
+from repro.lang.filters import EQ, IN, RANGE, FilterOp, FilterSet, PropertyFilter
+from repro.lang.gtravel import GTravel, union_results
+from repro.lang.plan import Step, TraversalPlan
+
+__all__ = [
+    "EQ",
+    "IN",
+    "RANGE",
+    "FilterOp",
+    "FilterSet",
+    "PropertyFilter",
+    "GTravel",
+    "union_results",
+    "Step",
+    "TraversalPlan",
+]

@@ -1,0 +1,165 @@
+"""The GTravel query-building language (paper §III).
+
+GTravel is an iterative, chainable builder. Every method returns the caller
+instance so queries read exactly like the paper's listings::
+
+    from repro.lang import GTravel, EQ, RANGE
+
+    q = (
+        GTravel.v(user_a)
+        .e("run").ea("start_ts", RANGE, (t_s, t_e))
+        .e("read").va("type", EQ, "text")
+        .rtn()
+    )
+    plan = q.compile()
+
+Semantics:
+
+* ``v(*ids)`` — the entry point: explicit vertex ids, or no arguments to
+  start from every vertex (the underlying store's index resolves them).
+* ``va(key, op, value)`` — filter the *current* working set of vertices.
+  Before any ``e()`` it filters the sources; after an ``e()`` it filters that
+  step's destination vertices.
+* ``e(label)`` — traverse edges with ``label`` from the working set.
+* ``ea(key, op, value)`` — filter the edges of the most recent ``e()``.
+* ``rtn()`` — mark the current working set for return; marked vertices are
+  returned only if a path through them reaches the end of the chain.
+
+``OR`` across filters is not supported (by design, as in the paper); run
+separate traversals and combine them with :func:`union_results`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.errors import QueryError
+from repro.ids import VertexId
+from repro.lang.filters import FilterOp, FilterSet, PropertyFilter
+from repro.lang.plan import Step, TraversalPlan
+
+
+class GTravel:
+    """Chainable traversal builder; see module docstring for semantics."""
+
+    def __init__(self) -> None:
+        self._source_ids: Optional[tuple[VertexId, ...]] = None
+        self._source_set = False
+        self._source_filters = FilterSet()
+        self._steps: list[dict[str, Any]] = []  # label, edge_filters, vertex_filters
+        self._rtn_levels: set[int] = set()
+
+    # -- entry points -------------------------------------------------------
+
+    @classmethod
+    def v(cls, *vids: VertexId) -> "GTravel":
+        """Start a traversal from explicit vertex ids (or all vertices)."""
+        return cls().v_(*vids)
+
+    def v_(self, *vids: VertexId) -> "GTravel":
+        """Instance form of :meth:`v`, for completeness."""
+        if self._source_set:
+            raise QueryError("v() may only be called once per traversal")
+        if self._steps:
+            raise QueryError("v() must come before any e() step")
+        self._source_set = True
+        if vids:
+            for vid in vids:
+                if not isinstance(vid, int) or isinstance(vid, bool):
+                    raise QueryError(f"vertex ids must be ints, got {vid!r}")
+            self._source_ids = tuple(dict.fromkeys(vids))  # dedupe, keep order
+        else:
+            self._source_ids = None  # all vertices
+        return self
+
+    # -- steps ----------------------------------------------------------------
+
+    def e(self, *labels: str) -> "GTravel":
+        """Traverse edges from the current working set.
+
+        The paper's ``e()`` takes one label; we also accept several —
+        ``e("read", "write")`` follows edges with *any* of the labels (an OR
+        over labels, which the layout serves with a single scan of the
+        vertex's edge block).
+        """
+        self._require_source("e()")
+        if not labels:
+            raise QueryError("e() requires at least one edge label")
+        for label in labels:
+            if not isinstance(label, str) or not label:
+                raise QueryError(f"edge label must be a non-empty str, got {label!r}")
+        self._steps.append(
+            {
+                "labels": tuple(dict.fromkeys(labels)),
+                "edge_filters": FilterSet(),
+                "vertex_filters": FilterSet(),
+            }
+        )
+        return self
+
+    def ea(self, key: str, op: FilterOp, value: Any) -> "GTravel":
+        """Filter the edges selected by the most recent ``e()``."""
+        if not self._steps:
+            raise QueryError("ea() requires a preceding e() step")
+        flt = PropertyFilter(key, op, value)
+        step = self._steps[-1]
+        step["edge_filters"] = step["edge_filters"].add(flt)
+        return self
+
+    def va(self, key: str, op: FilterOp, value: Any) -> "GTravel":
+        """Filter the current working set of vertices."""
+        self._require_source("va()")
+        flt = PropertyFilter(key, op, value)
+        if not self._steps:
+            self._source_filters = self._source_filters.add(flt)
+        else:
+            step = self._steps[-1]
+            step["vertex_filters"] = step["vertex_filters"].add(flt)
+        return self
+
+    def rtn(self) -> "GTravel":
+        """Mark the current working set for return (paper §IV-D)."""
+        self._require_source("rtn()")
+        self._rtn_levels.add(len(self._steps))
+        return self
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self) -> TraversalPlan:
+        """Validate and freeze the chain into a :class:`TraversalPlan`."""
+        self._require_source("compile()")
+        steps = tuple(
+            Step(s["labels"], s["edge_filters"], s["vertex_filters"])
+            for s in self._steps
+        )
+        return TraversalPlan(
+            source_ids=self._source_ids,
+            source_filters=self._source_filters,
+            steps=steps,
+            rtn_levels=frozenset(self._rtn_levels),
+        )
+
+    def _require_source(self, what: str) -> None:
+        if not self._source_set:
+            raise QueryError(f"{what} requires a preceding v() entry point")
+
+    def describe(self) -> str:
+        return self.compile().describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        try:
+            return f"<GTravel {self.describe()}>"
+        except QueryError:
+            return "<GTravel (incomplete)>"
+
+
+def union_results(*results: Iterable[VertexId]) -> set[VertexId]:
+    """Combine the returned vertex sets of several traversals.
+
+    The paper's substitute for an ``OR`` filter: issue one traversal per
+    disjunct and union the results.
+    """
+    out: set[VertexId] = set()
+    for result in results:
+        out.update(result)
+    return out

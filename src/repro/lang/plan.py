@@ -1,0 +1,114 @@
+"""Compiled traversal plans.
+
+A :class:`TraversalPlan` is the validated, immutable form of a GTravel chain
+that engines execute. Level numbering:
+
+* level 0 — the source working set (after ``v()``/``va()``);
+* level k — the working set after traversing step k's edges (1-based).
+
+``rtn_levels`` holds the levels marked with ``rtn()``. When empty, the plan
+returns the final level (the BFS default the paper describes); when
+non-empty, exactly the marked levels are returned, and a marked vertex is
+returned only if some path through it reaches the end of the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.ids import VertexId
+from repro.lang.filters import FilterSet
+
+
+@dataclass(frozen=True)
+class Step:
+    """One traversal step: follow edges with any of ``labels`` (an OR over
+    labels — our extension; the paper's ``e()`` takes one label), filtered by
+    ``edge_filters``, into destination vertices filtered by
+    ``vertex_filters``."""
+
+    labels: tuple[str, ...]
+    edge_filters: FilterSet = field(default_factory=FilterSet)
+    vertex_filters: FilterSet = field(default_factory=FilterSet)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.labels, str):
+            # Accept the common single-label spelling Step("read", ...).
+            object.__setattr__(self, "labels", (self.labels,))
+        if not self.labels or any(not l for l in self.labels):
+            raise QueryError("a step needs at least one non-empty edge label")
+
+    @property
+    def label(self) -> str:
+        """The first (usually only) label; display/back-compat helper."""
+        return self.labels[0]
+
+    def describe(self) -> str:
+        inner = ", ".join(repr(l) for l in self.labels)
+        out = f".e({inner})"
+        for f in self.edge_filters.filters:
+            out += f".ea({f.key!r}, {f.op.value}, {f.value!r})"
+        for f in self.vertex_filters.filters:
+            out += f".va({f.key!r}, {f.op.value}, {f.value!r})"
+        return out
+
+
+@dataclass(frozen=True)
+class TraversalPlan:
+    """The engine-facing query representation."""
+
+    source_ids: Optional[tuple[VertexId, ...]]  # None = all vertices
+    source_filters: FilterSet
+    steps: tuple[Step, ...]
+    rtn_levels: frozenset[int]
+
+    def __post_init__(self) -> None:
+        for level in self.rtn_levels:
+            if not (0 <= level <= len(self.steps)):
+                raise QueryError(
+                    f"rtn level {level} out of range 0..{len(self.steps)}"
+                )
+        if self.source_ids is not None and len(self.source_ids) == 0:
+            raise QueryError("v() with explicit ids requires at least one id")
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_level(self) -> int:
+        return len(self.steps)
+
+    @property
+    def return_levels(self) -> frozenset[int]:
+        """Levels whose vertices the traversal returns."""
+        if self.rtn_levels:
+            return self.rtn_levels
+        return frozenset({self.final_level})
+
+    @property
+    def has_intermediate_returns(self) -> bool:
+        """True if some returned level is not the final one (needs the
+        report-destination redirection machinery of paper §IV-D)."""
+        return any(level < self.final_level for level in self.return_levels)
+
+    def describe(self) -> str:
+        """A printable, paper-style rendering of the plan."""
+        if self.source_ids is None:
+            out = "GTravel.v()"
+        else:
+            ids = ", ".join(map(str, self.source_ids[:4]))
+            if len(self.source_ids) > 4:
+                ids += ", ..."
+            out = f"GTravel.v({ids})"
+        for f in self.source_filters.filters:
+            out += f".va({f.key!r}, {f.op.value}, {f.value!r})"
+        if 0 in self.rtn_levels:
+            out += ".rtn()"
+        for level, step in enumerate(self.steps, start=1):
+            out += step.describe()
+            if level in self.rtn_levels:
+                out += ".rtn()"
+        return out

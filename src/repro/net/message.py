@@ -1,0 +1,177 @@
+"""Typed RPC messages exchanged by backend servers and the coordinator.
+
+These correspond to the paper's ZeroMQ RPCs: traversal dispatches between
+servers (black circles in Fig. 3), status/progress reports to the coordinator
+(green circles), and result returns. Each message knows its approximate wire
+size so the network model can charge transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ids import ExecId, ServerId, TravelId, VertexId
+
+#: Per-rtn-level anchor sets carried by a frontier vertex: ``anchors[i]`` is
+#: the set of vertices at the i-th intermediate rtn level that lie on some
+#: path leading to this vertex.
+Anchors = tuple[frozenset[VertexId], ...]
+
+#: A frontier batch: vertex id -> anchors.
+Entries = dict[VertexId, Anchors]
+
+_ENTRY_BYTES = 24  # id + framing
+_ANCHOR_BYTES = 8
+_HEADER_BYTES = 64
+_PLAN_BYTES = 256  # serialized GTravel instance, shipped with each dispatch
+
+
+def entries_nbytes(entries: Entries) -> int:
+    total = 0
+    for anchors in entries.values():
+        total += _ENTRY_BYTES
+        for level_set in anchors:
+            total += _ANCHOR_BYTES * max(1, len(level_set))
+    return total
+
+
+@dataclass
+class Message:
+    """Base class; ``travel_id`` scopes every message to one traversal."""
+
+    travel_id: TravelId
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class TraverseRequest(Message):
+    """Continue a traversal: ``entries`` are working-set vertices at
+    ``level``, owned by the destination server.
+
+    ``all_sources=True`` is the level-0 broadcast form used when the plan's
+    ``v()`` has no explicit ids (the server enumerates its local index).
+    ``attempt`` tags the restart generation so stale requests from a failed
+    attempt can be ignored.
+    """
+
+    level: int = 0
+    entries: Entries = field(default_factory=dict)
+    exec_id: ExecId = 0
+    from_server: ServerId = -1
+    all_sources: bool = False
+    attempt: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES + _PLAN_BYTES + entries_nbytes(self.entries)
+
+
+@dataclass
+class ExecStatus(Message):
+    """An execution's termination report plus the executions it created.
+
+    The coordinator marks ``exec_id`` terminated, registers every
+    ``created`` pair (exec id, target server), and expects
+    ``results_sent`` result-bearing messages to eventually arrive.
+    """
+
+    exec_id: ExecId = 0
+    server: ServerId = -1
+    #: (exec id, target server, level it will work at)
+    created: tuple[tuple[ExecId, ServerId, int], ...] = ()
+    results_sent: int = 0
+    level: Optional[int] = None  # level the execution worked at (progress)
+    attempt: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES + 20 * len(self.created)
+
+
+@dataclass
+class ResultReport(Message):
+    """Vertices to return to the client, at one return level."""
+
+    level: int = 0
+    vertices: frozenset[VertexId] = frozenset()
+    attempt: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES + 8 * len(self.vertices)
+
+
+@dataclass
+class SuccessReport(Message):
+    """Final-step notification to an rtn server: these of your anchor
+    vertices (at ``rtn_level``) lie on a completed path (paper Fig. 4)."""
+
+    rtn_level: int = 0
+    anchors: frozenset[VertexId] = frozenset()
+    exec_id: ExecId = 0
+    attempt: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES + 8 * len(self.anchors)
+
+
+@dataclass
+class ReplayExec(Message):
+    """Fine-grained recovery (paper future work): the coordinator asks the
+    server that *created* a lost execution to re-send its original dispatch.
+    Receivers deduplicate replayed work through the same (travel, step,
+    vertex) machinery as ordinary duplicates."""
+
+    exec_id: ExecId = 0
+    attempt: int = 0
+
+
+# -- synchronous engine control plane ---------------------------------------
+
+
+@dataclass
+class SyncBatch(Message):
+    """Frontier batch buffered at the destination until the step barrier."""
+
+    level: int = 0
+    entries: Entries = field(default_factory=dict)
+    from_server: ServerId = -1
+    attempt: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES + _PLAN_BYTES + entries_nbytes(self.entries)
+
+
+@dataclass
+class SyncStartStep(Message):
+    """Coordinator's barrier release: process buffered level-``level``
+    batches once ``expect_batches`` of them have arrived."""
+
+    level: int = 0
+    expect_batches: int = 0
+    all_sources: bool = False
+    attempt: int = 0
+
+
+@dataclass
+class SyncStepDone(Message):
+    """A server's barrier report: finished its share of one step, having
+    sent ``sent_counts[j]`` batches to each server j, and ``results_sent``
+    result messages to the coordinator."""
+
+    level: int = 0
+    server: ServerId = -1
+    sent_counts: dict[ServerId, int] = field(default_factory=dict)
+    results_sent: int = 0
+    anchor_counts: dict[ServerId, int] = field(default_factory=dict)
+    attempt: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES + 12 * len(self.sent_counts)

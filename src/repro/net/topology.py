@@ -1,0 +1,54 @@
+"""Network model: per-message latency as a function of size.
+
+Models the paper's InfiniBand QDR interconnect (4 GB/s per link, low
+microsecond latency) plus the RPC software overhead of a ZeroMQ-style stack.
+Latency is ``base + nbytes / bandwidth``; loopback messages (server to
+itself) cost only the software overhead.
+
+The model is intentionally contention-free: the paper's network is far from
+saturated by traversal traffic (disk I/O dominates), and the phenomena under
+study — barrier waits and stragglers — are disk- and scheduling-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ids import ServerId
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth parameters for inter-server RPC."""
+
+    base_latency: float = 60e-6  # seconds: RPC + transport overhead
+    bandwidth: float = 4.0e9  # bytes/second (IB QDR, per link per direction)
+    loopback_latency: float = 10e-6  # local dispatch overhead
+    #: explicit client-link parameters; default to a link 4x slower than the
+    #: server fabric (clients sit on the service network — the paper's
+    #: motivation for server-side traversal)
+    client_base_latency: Optional[float] = None
+    client_bandwidth: Optional[float] = None
+
+    def latency(self, src: ServerId, dst: ServerId, nbytes: int) -> float:
+        if src == dst:
+            return self.loopback_latency
+        return self.base_latency + nbytes / self.bandwidth
+
+    def client_latency(self, nbytes: int) -> float:
+        """Client <-> coordinator hop over the (slower) service network."""
+        base = self.client_base_latency
+        if base is None:
+            base = 4 * self.base_latency
+        bw = self.client_bandwidth
+        if bw is None:
+            bw = self.bandwidth / 4
+        return base + nbytes / bw
+
+
+#: The evaluation default, approximating Fusion's IB QDR fabric.
+INFINIBAND_QDR = NetworkModel()
+
+#: A slower 10 GbE-style fabric for sensitivity studies.
+ETHERNET_10G = NetworkModel(base_latency=300e-6, bandwidth=1.25e9, loopback_latency=10e-6)

@@ -1,0 +1,91 @@
+"""Greedy vertex-cut partitioning (PowerGraph-style) — analysis companion.
+
+The paper discusses vertex-cut strategies (§VI) but evaluates on edge-cut;
+its point is that *no* static strategy eliminates stragglers. This module
+implements the classic greedy edge-placement heuristic so the partitioning
+ablation can quantify the replication-factor / balance trade-off on the same
+graphs, without changing the traversal engines (which assume edge-cut
+ownership).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.builder import PropertyGraph
+from repro.ids import ServerId, VertexId
+
+
+@dataclass
+class VertexCutResult:
+    """Outcome of a vertex-cut assignment."""
+
+    nservers: int
+    edge_loads: np.ndarray  # edges per server
+    replicas: dict[VertexId, set[ServerId]]
+
+    @property
+    def replication_factor(self) -> float:
+        """Average number of servers holding a replica of each vertex."""
+        if not self.replicas:
+            return 0.0
+        return sum(len(s) for s in self.replicas.values()) / len(self.replicas)
+
+    @property
+    def edge_imbalance(self) -> float:
+        mean = self.edge_loads.mean() if self.edge_loads.size else 0.0
+        return float(self.edge_loads.max() / mean) if mean > 0 else 1.0
+
+
+def greedy_vertex_cut(graph: PropertyGraph, nservers: int) -> VertexCutResult:
+    """Place each edge on a server using the PowerGraph greedy rule.
+
+    Rules, in order, for edge (u, v):
+
+    1. if the replica sets of u and v intersect → lightest common server;
+    2. elif both have replicas → lightest server among their union;
+    3. elif one has replicas → lightest of that vertex's servers;
+    4. else → globally lightest server.
+    """
+    if nservers < 1:
+        raise PartitionError(f"nservers must be >= 1, got {nservers}")
+    loads = np.zeros(nservers, dtype=np.int64)
+    replicas: dict[VertexId, set[ServerId]] = {}
+
+    def lightest(candidates: set[ServerId]) -> ServerId:
+        cand = sorted(candidates)
+        return cand[int(np.argmin(loads[cand]))]
+
+    def balanced(target: ServerId) -> ServerId:
+        """Balance escape: if the greedy choice is far heavier than the
+        lightest server, replicate onto the lightest instead. This is what
+        lets the vertex-cut split a hub's edges across servers."""
+        lightest_global = int(np.argmin(loads))
+        if loads[target] > 2 * (loads[lightest_global] + 1):
+            return lightest_global
+        return target
+
+    for src in graph.vertex_ids():
+        for _, dst, _ in graph.out_edges(src):
+            a = replicas.get(src, set())
+            b = replicas.get(dst, set())
+            common = a & b
+            if common:
+                target = lightest(common)
+            elif a and b:
+                target = balanced(lightest(a | b))
+            elif a or b:
+                target = balanced(lightest(a or b))
+            else:
+                target = int(np.argmin(loads))
+            loads[target] += 1
+            replicas.setdefault(src, set()).add(target)
+            replicas.setdefault(dst, set()).add(target)
+    # Isolated vertices still need a home.
+    for vid in graph.vertex_ids():
+        if vid not in replicas:
+            replicas[vid] = {int(np.argmin(loads))}
+    return VertexCutResult(nservers, loads, replicas)

@@ -1,0 +1,16 @@
+"""Execution runtimes: the virtual-time simulator and the thread runtime."""
+
+from repro.runtime.base import InterferencePolicy, Runtime, ServerContext
+from repro.runtime.simulated import SimRuntime, SimServerContext
+from repro.runtime.threaded import ThreadEvent, ThreadRuntime, ThreadServerContext
+
+__all__ = [
+    "InterferencePolicy",
+    "Runtime",
+    "ServerContext",
+    "SimRuntime",
+    "SimServerContext",
+    "ThreadEvent",
+    "ThreadRuntime",
+    "ThreadServerContext",
+]

@@ -1,0 +1,130 @@
+"""Runtime abstraction: what an engine needs from its execution environment.
+
+Engines are written as generator-based actors against :class:`ServerContext`.
+They never import the simulator directly, so the same engine code runs on the
+virtual-time runtime (:mod:`repro.runtime.simulated`) and the real-thread
+runtime (:mod:`repro.runtime.threaded`). An engine yields the opaque
+*waitables* returned by context methods::
+
+    def worker(self):
+        while True:
+            item = yield self.ctx.queue_get(self.queue)
+            yield self.ctx.disk(cost, level=item.level)
+            self.ctx.send(dst, msg)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional, Protocol
+
+from repro.ids import ServerId
+from repro.net.message import Message
+from repro.storage.costmodel import IOCost
+
+
+class InterferencePolicy(Protocol):
+    """External-interference hook: extra virtual seconds for one vertex
+    access on ``server`` while the accessing execution works at ``level``."""
+
+    def delay(self, server: ServerId, level: Optional[int]) -> float: ...
+
+
+class ServerContext(ABC):
+    """The per-server execution environment handed to engine instances."""
+
+    server_id: ServerId
+    nservers: int
+
+    # -- time ------------------------------------------------------------
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time (virtual or wall, depending on runtime)."""
+
+    @abstractmethod
+    def sleep(self, dt: float) -> Any:
+        """Waitable that resumes after ``dt`` seconds."""
+
+    # -- processes ---------------------------------------------------------
+
+    @abstractmethod
+    def spawn(self, gen, name: str = "proc") -> Any:
+        """Run a generator as a concurrent process; returns its handle."""
+
+    # -- queues --------------------------------------------------------------
+
+    @abstractmethod
+    def queue(self, priority: bool = False, name: str = "q") -> Any:
+        """Create a work queue (priority queues pop smallest item first)."""
+
+    @abstractmethod
+    def queue_put(self, q: Any, item: Any) -> None: ...
+
+    @abstractmethod
+    def queue_get(self, q: Any) -> Any:
+        """Waitable resolving to the next item."""
+
+    @abstractmethod
+    def queue_len(self, q: Any) -> int: ...
+
+    # -- I/O -------------------------------------------------------------------
+
+    @abstractmethod
+    def disk(self, cost: IOCost, level: Optional[int] = None, accesses: int = 1) -> Any:
+        """Waitable that occupies this server's disk for ``cost``.
+
+        ``level`` tags the traversal step for the interference policy;
+        ``accesses`` is how many logical vertex accesses the cost covers.
+        """
+
+    @abstractmethod
+    def cpu(self, dt: float) -> Any:
+        """Waitable modelling per-request processing overhead."""
+
+    # -- messaging ---------------------------------------------------------------
+
+    @abstractmethod
+    def send(self, dst: ServerId, msg: Message) -> None:
+        """Fire-and-forget message to another server's engine."""
+
+    @abstractmethod
+    def send_coordinator(self, msg: Message) -> None:
+        """Send to the coordinator actor of this traversal's cluster."""
+
+
+class Runtime(ABC):
+    """Factory for server contexts plus message routing."""
+
+    nservers: int
+
+    @abstractmethod
+    def context(self, server_id: ServerId) -> ServerContext: ...
+
+    @abstractmethod
+    def register_handler(
+        self, server_id: ServerId, handler: Callable[[Message], None]
+    ) -> None:
+        """Install the engine's ``on_message`` for a server."""
+
+    @abstractmethod
+    def register_coordinator(self, handler: Callable[[Message], None]) -> None: ...
+
+    @abstractmethod
+    def run_until_complete(self, waitable: Any, limit: Optional[float] = None) -> Any:
+        """Drive the runtime until ``waitable`` resolves; return its value."""
+
+    @abstractmethod
+    def completion_event(self) -> Any:
+        """A one-shot event the coordinator resolves when a traversal ends."""
+
+    def exclusive(self, server_id: ServerId):
+        """Context manager serializing external calls into a server's engine
+        or coordinator state. A no-op on the single-threaded simulator; the
+        per-server lock on the threaded runtime."""
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+    def shutdown(self) -> None:
+        """Release runtime resources (worker threads); no-op by default."""

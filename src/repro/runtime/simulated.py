@@ -1,0 +1,175 @@
+"""Virtual-time runtime on the discrete-event kernel.
+
+This is the evaluation runtime: disks are capacity-limited
+:class:`~repro.sim.resources.Resource` objects charged via the
+:class:`~repro.storage.costmodel.DiskCostModel`, messages arrive after
+:class:`~repro.net.topology.NetworkModel` latency, and elapsed traversal time
+is read off the virtual clock. Determinism: same seed + same configuration →
+identical event order and identical timings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.ids import ServerId
+from repro.net.message import Message
+from repro.net.topology import INFINIBAND_QDR, NetworkModel
+from repro.runtime.base import InterferencePolicy, Runtime, ServerContext
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.storage.costmodel import GPFS, DiskCostModel, IOCost
+
+
+class SimServerContext(ServerContext):
+    """One server's view of the simulated runtime."""
+
+    def __init__(self, runtime: "SimRuntime", server_id: ServerId):
+        self._rt = runtime
+        self.server_id = server_id
+        self.nservers = runtime.nservers
+
+    # -- time ----------------------------------------------------------
+
+    def now(self) -> float:
+        return self._rt.sim.now
+
+    def sleep(self, dt: float):
+        return self._rt.sim.timeout(dt)
+
+    # -- processes -------------------------------------------------------
+
+    def spawn(self, gen, name: str = "proc"):
+        return self._rt.sim.process(gen, name=f"s{self.server_id}:{name}")
+
+    # -- queues --------------------------------------------------------------
+
+    def queue(self, priority: bool = False, name: str = "q"):
+        cls = PriorityStore if priority else Store
+        return cls(self._rt.sim, name=f"s{self.server_id}:{name}")
+
+    def queue_put(self, q, item) -> None:
+        q.put(item)
+
+    def queue_get(self, q):
+        return q.get()
+
+    def queue_len(self, q) -> int:
+        return len(q)
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def disk(self, cost: IOCost, level: Optional[int] = None, accesses: int = 1):
+        return self._rt.sim.process(
+            self._rt._disk_proc(self.server_id, cost, level, accesses),
+            name=f"s{self.server_id}:disk",
+        )
+
+    def cpu(self, dt: float):
+        return self._rt.sim.timeout(dt)
+
+    # -- messaging ------------------------------------------------------------------
+
+    def send(self, dst: ServerId, msg: Message) -> None:
+        self._rt.deliver(self.server_id, dst, msg)
+
+    def send_coordinator(self, msg: Message) -> None:
+        self._rt.deliver_to_coordinator(self.server_id, msg)
+
+
+class SimRuntime(Runtime):
+    """The cluster-wide simulated runtime."""
+
+    def __init__(
+        self,
+        nservers: int,
+        *,
+        network: NetworkModel = INFINIBAND_QDR,
+        disk_model: DiskCostModel = GPFS,
+        disk_capacity: int = 1,
+        interference: Optional[InterferencePolicy] = None,
+    ):
+        if nservers < 1:
+            raise SimulationError(f"nservers must be >= 1, got {nservers}")
+        self.nservers = nservers
+        self.sim = Simulator()
+        self.network = network
+        self.disk_model = disk_model
+        self.interference = interference
+        self._disks = [
+            Resource(self.sim, disk_capacity, name=f"disk{s}") for s in range(nservers)
+        ]
+        self._handlers: dict[ServerId, Callable[[Message], None]] = {}
+        self._coordinator_handler: Optional[Callable[[Message], None]] = None
+        #: optional fault injection: return True to silently drop a message
+        self.drop_filter: Optional[Callable[[ServerId, ServerId, Message], bool]] = None
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def context(self, server_id: ServerId) -> SimServerContext:
+        if not (0 <= server_id < self.nservers):
+            raise SimulationError(f"server id {server_id} out of range")
+        return SimServerContext(self, server_id)
+
+    def register_handler(self, server_id: ServerId, handler) -> None:
+        self._handlers[server_id] = handler
+
+    def register_coordinator(self, handler) -> None:
+        self._coordinator_handler = handler
+
+    # -- message delivery -------------------------------------------------------
+
+    def deliver(self, src: ServerId, dst: ServerId, msg: Message) -> None:
+        if self.drop_filter is not None and self.drop_filter(src, dst, msg):
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise SimulationError(f"no handler registered for server {dst}")
+        self.messages_sent += 1
+        self.bytes_sent += msg.nbytes
+        delay = self.network.latency(src, dst, msg.nbytes)
+        self.sim.schedule(delay, lambda: handler(msg))
+
+    def deliver_to_coordinator(self, src: ServerId, msg: Message) -> None:
+        if self._coordinator_handler is None:
+            raise SimulationError("no coordinator registered")
+        if self.drop_filter is not None and self.drop_filter(src, -1, msg):
+            return
+        self.messages_sent += 1
+        self.bytes_sent += msg.nbytes
+        coord_server = getattr(self, "coordinator_server", 0)
+        delay = self.network.latency(src, coord_server, msg.nbytes)
+        handler = self._coordinator_handler
+        self.sim.schedule(delay, lambda: handler(msg))
+
+    # -- disk ----------------------------------------------------------------------
+
+    def _disk_proc(
+        self, server_id: ServerId, cost: IOCost, level: Optional[int], accesses: int
+    ):
+        disk = self._disks[server_id]
+        req = disk.request()
+        yield req
+        try:
+            service = self.disk_model.time(cost)
+            if self.interference is not None:
+                for _ in range(max(1, accesses)):
+                    service += self.interference.delay(server_id, level)
+            if service > 0:
+                yield self.sim.timeout(service)
+        finally:
+            disk.release(req)
+
+    def disk_queue_length(self, server_id: ServerId) -> int:
+        return self._disks[server_id].queue_length
+
+    # -- driving ----------------------------------------------------------------------
+
+    def completion_event(self) -> Event:
+        return self.sim.event("traversal-complete")
+
+    def run_until_complete(self, waitable: Event, limit: Optional[float] = None):
+        return self.sim.run_until(waitable, limit=limit)

@@ -1,0 +1,95 @@
+"""Timestamped trace collection for simulations.
+
+Engines and servers emit trace records (category + payload) through a
+:class:`Tracer`; experiments post-process them into the statistics the paper
+reports (per-server visit breakdowns, queue lengths, barrier waits).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: when, what, and arbitrary payload fields."""
+
+    time: float
+    category: str
+    fields: dict[str, Any]
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered by category.
+
+    ``enabled_categories=None`` records everything; an empty set records
+    nothing (cheap no-op for production benchmark runs).
+    """
+
+    def __init__(self, enabled_categories: Optional[set[str]] = None):
+        self.enabled = enabled_categories
+        self.records: list[TraceRecord] = []
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the time source (the simulator's ``now``)."""
+        self._clock = clock
+
+    def wants(self, category: str) -> bool:
+        return self.enabled is None or category in self.enabled
+
+    def emit(self, category: str, **fields: Any) -> None:
+        if not self.wants(category):
+            return
+        self.records.append(TraceRecord(self._clock(), category, fields))
+
+    # -- queries ---------------------------------------------------------
+
+    def of(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def count_by(self, category: str, key: str) -> Counter:
+        """Counter of ``fields[key]`` over records of ``category``."""
+        counts: Counter = Counter()
+        for rec in self.of(category):
+            counts[rec.fields.get(key)] += 1
+        return counts
+
+    def series(self, category: str, key: str) -> list[tuple[float, Any]]:
+        """(time, fields[key]) pairs, in emission order."""
+        return [(r.time, r.fields.get(key)) for r in self.of(category)]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+@dataclass
+class MetricSet:
+    """A plain bag of additive counters keyed by (metric, label).
+
+    Used for per-server statistics where full trace records would be too
+    heavy: ``metrics.add("real_io_visit", server=3)``.
+    """
+
+    counts: dict[str, Counter] = field(default_factory=lambda: defaultdict(Counter))
+
+    def add(self, metric: str, label: Any = None, n: int = 1) -> None:
+        self.counts[metric][label] += n
+
+    def get(self, metric: str, label: Any = None) -> int:
+        return self.counts[metric][label]
+
+    def total(self, metric: str) -> int:
+        return sum(self.counts[metric].values())
+
+    def labels(self, metric: str) -> Iterable[Any]:
+        return self.counts[metric].keys()
+
+    def merge(self, other: "MetricSet") -> None:
+        for metric, counter in other.counts.items():
+            self.counts[metric].update(counter)
+
+    def as_dict(self) -> dict[str, dict[Any, int]]:
+        return {m: dict(c) for m, c in self.counts.items()}

@@ -1,0 +1,77 @@
+"""In-memory write buffer (memtable) for the LSM store.
+
+Writes land here first; when the buffered byte size passes a threshold the
+LSM store flushes the memtable into an immutable SSTable. Deletes are
+recorded as tombstones so they can mask older SSTable entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+#: Sentinel stored for deleted keys until compaction drops them.
+TOMBSTONE = object()
+
+
+class Memtable:
+    """Unsorted write buffer with sort-on-scan.
+
+    Point lookups are O(1); range scans sort lazily and cache the order until
+    the next write. This matches the access pattern of the traversal
+    workload: bulk loading goes straight to SSTables, so the memtable only
+    holds live updates and stays small.
+    """
+
+    def __init__(self):
+        self._data: dict[bytes, object] = {}
+        self._sorted_keys: Optional[list[bytes]] = None
+        self.size_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        old = self._data.get(key)
+        if old is None:
+            self.size_bytes += len(key) + len(value)
+            self._sorted_keys = None
+        else:
+            self.size_bytes += len(value) - (0 if old is TOMBSTONE else len(old))
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        old = self._data.get(key)
+        if old is None:
+            self.size_bytes += len(key)
+            self._sorted_keys = None
+        elif old is not TOMBSTONE:
+            self.size_bytes -= len(old)
+        self._data[key] = TOMBSTONE
+
+    def get(self, key: bytes) -> object:
+        """Value bytes, TOMBSTONE, or None if absent."""
+        return self._data.get(key)
+
+    def _ensure_sorted(self) -> list[bytes]:
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._data)
+        return self._sorted_keys
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, object]]:
+        """Yield (key, value-or-TOMBSTONE) for start <= key < end, in order."""
+        import bisect
+
+        keys = self._ensure_sorted()
+        lo = bisect.bisect_left(keys, start)
+        hi = bisect.bisect_left(keys, end)
+        for key in keys[lo:hi]:
+            yield key, self._data[key]
+
+    def items_sorted(self) -> list[tuple[bytes, object]]:
+        """All entries in key order (used by flush)."""
+        return [(k, self._data[k]) for k in self._ensure_sorted()]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._sorted_keys = None
+        self.size_bytes = 0

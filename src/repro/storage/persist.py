@@ -1,0 +1,143 @@
+"""File-backed persistence: checkpoint and restore a server's store.
+
+The paper runs RocksDB either on local disks (fast) or on GPFS "for fault
+tolerance against server failures" (§VII) — the store's files surviving the
+server is what makes a failed backend recoverable. This module provides that
+durability for the pure-Python store: an :class:`~repro.storage.lsm.LSMStore`
+checkpoints to a directory (one file per SSTable plus a manifest; the
+memtable is flushed first, so a checkpoint is always a consistent frozen
+state) and restores from it.
+
+File format (version 1)::
+
+    MANIFEST          json: version, table file names, counts
+    000001.sst ...    per table:  [u32 entry count] then per entry
+                      [u32 key len][key][u8 tombstone][u32 value len][value]
+
+:class:`~repro.storage.layout.GraphStore` checkpoints add the vertex
+location/type index alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.errors import StorageError
+from repro.storage.layout import GraphStore
+from repro.storage.lsm import LSMConfig, LSMStore
+from repro.storage.memtable import TOMBSTONE
+from repro.storage.sstable import SSTable
+
+_U32 = struct.Struct("<I")
+_VERSION = 1
+_MANIFEST = "MANIFEST"
+
+
+def _write_table(path: Path, table: SSTable) -> None:
+    with path.open("wb") as fh:
+        fh.write(_U32.pack(len(table)))
+        for key, value in zip(table.keys, table.values):
+            fh.write(_U32.pack(len(key)))
+            fh.write(key)
+            if value is TOMBSTONE:
+                fh.write(b"\x01")
+                fh.write(_U32.pack(0))
+            else:
+                fh.write(b"\x00")
+                fh.write(_U32.pack(len(value)))  # type: ignore[arg-type]
+                fh.write(value)  # type: ignore[arg-type]
+
+
+def _read_exact(fh, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise StorageError("truncated SSTable file")
+    return data
+
+
+def _read_table(path: Path) -> list[tuple[bytes, object]]:
+    entries: list[tuple[bytes, object]] = []
+    with path.open("rb") as fh:
+        (count,) = _U32.unpack(_read_exact(fh, 4))
+        for _ in range(count):
+            (klen,) = _U32.unpack(_read_exact(fh, 4))
+            key = _read_exact(fh, klen)
+            tombstone = _read_exact(fh, 1) == b"\x01"
+            (vlen,) = _U32.unpack(_read_exact(fh, 4))
+            value: object = TOMBSTONE if tombstone else _read_exact(fh, vlen)
+            entries.append((key, value))
+    return entries
+
+
+def checkpoint_store(store: LSMStore, directory: Union[str, Path]) -> Path:
+    """Write a consistent checkpoint of ``store`` into ``directory``.
+
+    Flushes the memtable first, so the checkpoint captures every write that
+    returned before the call. Overwrites any previous checkpoint there.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    store.flush()
+    names = []
+    for i, table in enumerate(store.sstables):  # newest first
+        name = f"{i:06d}.sst"
+        _write_table(directory / name, table)
+        names.append(name)
+    manifest = {
+        "version": _VERSION,
+        "tables": names,  # order: newest first
+        "entries": [len(t) for t in store.sstables],
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def restore_store(
+    directory: Union[str, Path], config: Union[LSMConfig, None] = None
+) -> LSMStore:
+    """Rebuild an :class:`LSMStore` from a checkpoint directory."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise StorageError(f"no checkpoint manifest in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != _VERSION:
+        raise StorageError(f"unsupported checkpoint version {manifest.get('version')}")
+    store = LSMStore(config)
+    for name, expected in zip(manifest["tables"], manifest["entries"]):
+        entries = _read_table(directory / name)
+        if len(entries) != expected:
+            raise StorageError(f"checkpoint table {name} has {len(entries)} entries, expected {expected}")
+        store.sstables.append(SSTable(entries, store.config.bloom_fp_rate))
+    return store
+
+
+def checkpoint_graph_store(gstore: GraphStore, directory: Union[str, Path]) -> Path:
+    """Checkpoint a server's graph store: KV data, vertex index, layout."""
+    directory = Path(directory)
+    checkpoint_store(gstore.kv, directory)
+    payload = {
+        "layout": gstore.edge_layout,
+        "index": {str(vid): ns for vid, ns in gstore._ns_of.items()},
+    }
+    (directory / "vertex_index.json").write_text(json.dumps(payload))
+    return directory
+
+
+def restore_graph_store(
+    directory: Union[str, Path], config: Union[LSMConfig, None] = None
+) -> GraphStore:
+    """Rebuild a server's :class:`GraphStore` from a checkpoint."""
+    directory = Path(directory)
+    index_path = directory / "vertex_index.json"
+    if not index_path.exists():
+        raise StorageError(f"no vertex index in {directory}")
+    payload = json.loads(index_path.read_text())
+    gstore = GraphStore(config, edge_layout=payload.get("layout", "grouped"))
+    gstore.kv = restore_store(directory, config or gstore.kv.config)
+    for vid_str, ns in payload["index"].items():
+        gstore._index_vertex(int(vid_str), ns)
+    return gstore

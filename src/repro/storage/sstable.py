@@ -1,0 +1,127 @@
+"""Immutable sorted string tables (SSTables).
+
+An SSTable is a frozen, key-ordered run of entries with a bloom filter and a
+byte-offset index. It is "on disk" for accounting purposes: the LSM store
+charges seeks and block reads for every access, using each entry's byte
+extent to determine which blocks it spans — exactly the property the paper's
+layout exploits (same-label edges adjacent → sequential block reads).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.bloom import BloomFilter
+from repro.storage.memtable import TOMBSTONE
+
+_table_ids = itertools.count(1)
+
+
+class SSTable:
+    """One immutable sorted run.
+
+    ``entries`` must be sorted by key and may contain TOMBSTONE values (kept
+    so newer tables can mask older ones; dropped by full compaction).
+    """
+
+    __slots__ = ("table_id", "keys", "values", "offsets", "bloom", "size_bytes")
+
+    def __init__(self, entries: Iterable[tuple[bytes, object]], fp_rate: float = 0.01):
+        keys: list[bytes] = []
+        values: list[object] = []
+        offsets: list[int] = [0]
+        pos = 0
+        prev: Optional[bytes] = None
+        for key, value in entries:
+            if prev is not None and key <= prev:
+                raise StorageError("SSTable entries must be strictly sorted")
+            prev = key
+            keys.append(key)
+            values.append(value)
+            vlen = 0 if value is TOMBSTONE else len(value)  # type: ignore[arg-type]
+            pos += len(key) + vlen + 16  # 16 bytes of per-entry framing
+            offsets.append(pos)
+        self.table_id = next(_table_ids)
+        self.keys = keys
+        self.values = values
+        self.offsets = offsets
+        self.size_bytes = pos
+        self.bloom = BloomFilter(max(1, len(keys)), fp_rate)
+        self.bloom.update(keys)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def min_key(self) -> Optional[bytes]:
+        return self.keys[0] if self.keys else None
+
+    @property
+    def max_key(self) -> Optional[bytes]:
+        return self.keys[-1] if self.keys else None
+
+    def may_contain(self, key: bytes) -> bool:
+        """Bloom + key-range check; False means definitely absent."""
+        if not self.keys or key < self.keys[0] or key > self.keys[-1]:
+            return False
+        return key in self.bloom
+
+    def find(self, key: bytes) -> Optional[int]:
+        """Index of ``key`` or None."""
+        i = bisect.bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return i
+        return None
+
+    def entry_extent(self, index: int) -> tuple[int, int]:
+        """Byte range [start, end) of entry ``index`` inside the table file."""
+        return self.offsets[index], self.offsets[index + 1]
+
+    def range_indices(self, start: bytes, end: bytes) -> tuple[int, int]:
+        """Entry index range [lo, hi) with start <= key < end."""
+        lo = bisect.bisect_left(self.keys, start)
+        hi = bisect.bisect_left(self.keys, end)
+        return lo, hi
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, object]]:
+        lo, hi = self.range_indices(start, end)
+        for i in range(lo, hi):
+            yield self.keys[i], self.values[i]
+
+    def overlaps(self, start: bytes, end: bytes) -> bool:
+        if not self.keys:
+            return False
+        return self.keys[0] < end and start <= self.keys[-1]
+
+
+def merge_runs(
+    runs: list[list[tuple[bytes, object]]], drop_tombstones: bool
+) -> list[tuple[bytes, object]]:
+    """Merge sorted runs, newest first; newer entries win on key ties.
+
+    With ``drop_tombstones`` the merged output omits deleted keys entirely
+    (safe only for a *full* merge where no older run survives).
+    """
+    import heapq
+
+    heap: list[tuple[bytes, int, int]] = []  # (key, run priority, pos)
+    for rank, run in enumerate(runs):
+        if run:
+            heapq.heappush(heap, (run[0][0], rank, 0))
+    out: list[tuple[bytes, object]] = []
+    last_key: Optional[bytes] = None
+    while heap:
+        key, rank, pos = heapq.heappop(heap)
+        value = runs[rank][pos][1]
+        if pos + 1 < len(runs[rank]):
+            heapq.heappush(heap, (runs[rank][pos + 1][0], rank, pos + 1))
+        if key == last_key:
+            continue  # an entry from a newer run already won
+        last_key = key
+        if drop_tombstones and value is TOMBSTONE:
+            continue
+        out.append((key, value))
+    return out

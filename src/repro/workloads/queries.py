@@ -1,0 +1,76 @@
+"""Canned traversal queries from the paper, phrased in GTravel.
+
+Each function returns a :class:`~repro.lang.gtravel.GTravel` builder so
+callers can extend the chain before compiling.
+"""
+
+from __future__ import annotations
+
+from repro.lang.filters import EQ, RANGE
+from repro.lang.gtravel import GTravel
+from repro.workloads.metadata_graph import YEAR
+
+
+def data_audit_query(
+    user: int, t_start: float, t_end: float, kind: str = "text"
+) -> GTravel:
+    """§III-A1: *Find all files ending in .txt read by "userA" within a
+    timeframe.*
+
+    Adapted to the Darshan-graph schema, where executions hang off jobs:
+    ``user -run-> job -hasExecutions-> execution -read-> file``.
+    """
+    return (
+        GTravel.v(user)
+        .e("run")
+        .ea("ts", RANGE, (t_start, t_end))
+        .e("hasExecutions")
+        .e("read")
+        .va("kind", EQ, kind)
+        .rtn()
+    )
+
+
+def provenance_query(model: str = "A", annotation: str = "B") -> GTravel:
+    """§III-A2: *Find the execution whose model is A and inputs have
+    annotation as B* — returns the source executions via ``rtn()``."""
+    return (
+        GTravel.v()
+        .va("type", EQ, "Execution")
+        .rtn()
+        .va("model", EQ, model)
+        .e("read")
+        .va("annotation", EQ, annotation)
+    )
+
+
+def suspicious_user_query(user: int, t_start: float = 0.0, t_end: float = YEAR) -> GTravel:
+    """§VII-D (Table III): the influence of a suspicious user — *all files
+    that were written by executions whose input files are suspicious*::
+
+        GTravel.v(suspectUser).e('run')
+               .ea('ts', RANGE, [ts, te])   // select jobs
+               .e('hasExecutions')          // select executions
+               .e('write')                  // select outputs
+               .e('readBy')                 // select executions
+               .e('write').rtn()            // outputs of executions
+    """
+    return (
+        GTravel.v(user)
+        .e("run")
+        .ea("ts", RANGE, (t_start, t_end))
+        .e("hasExecutions")
+        .e("write")
+        .e("readBy")
+        .e("write")
+        .rtn()
+    )
+
+
+def rmat_kstep_query(source: int, steps: int, label: str = "link") -> GTravel:
+    """The synthetic-workload k-step traversal (§VII-B): follow ``label``
+    edges for ``steps`` hops from one randomly selected vertex."""
+    q = GTravel.v(source)
+    for _ in range(steps):
+        q = q.e(label)
+    return q

@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro.bench`` experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_registry_covers_every_paper_artifact():
+    for name in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11"):
+        assert name in EXPERIMENTS
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiments" in capsys.readouterr().out
+
+
+def test_single_cheap_experiment_runs(capsys, monkeypatch, tmp_path):
+    # shrink the environment so the run takes seconds
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "7")
+    monkeypatch.setenv("REPRO_BENCH_SERVERS", "2,3")
+    monkeypatch.setattr("repro.bench.harness.RESULTS_DIR", tmp_path)
+    monkeypatch.setattr("repro.bench.__main__.save_results",
+                        lambda name, payload: tmp_path / f"{name}.json")
+    code = main(["table2"])
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "[PASS]" in out
+    assert code in (0, 1)  # checks may be scale-sensitive; must not crash

@@ -1,0 +1,127 @@
+"""Tests for the benchmark harness, report rendering, and experiment configs."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    Cell,
+    cell_lookup,
+    cells_payload,
+    kstep_plan,
+    rmat1_graph,
+    rmat1_source,
+    run_cell,
+    run_engine_comparison,
+)
+from repro.bench.report import (
+    banner,
+    engine_table,
+    fmt_time,
+    kv_table,
+    speedup_table,
+    visit_breakdown_table,
+)
+from repro.engine import EngineKind
+
+TINY = BenchEnvironment(scale=6, edge_factor=4, servers=(2, 3))
+
+
+def test_env_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "9")
+    monkeypatch.setenv("REPRO_BENCH_SERVERS", "2,4")
+    monkeypatch.setenv("REPRO_BENCH_EDGE_FACTOR", "8")
+    env = BenchEnvironment.from_env()
+    assert env.scale == 9 and env.servers == (2, 4) and env.edge_factor == 8
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_SERVERS", raising=False)
+    env = BenchEnvironment.from_env()
+    assert env.scale == 12 and len(env.servers) == 5
+
+
+def test_graph_and_source_cached():
+    g1 = rmat1_graph(TINY.scale, TINY.edge_factor)
+    g2 = rmat1_graph(TINY.scale, TINY.edge_factor)
+    assert g1 is g2
+    src = rmat1_source(TINY.scale, TINY.edge_factor)
+    assert g1.out_degree(src) >= 1
+
+
+def test_run_cell_returns_stats():
+    graph = rmat1_graph(TINY.scale, TINY.edge_factor)
+    plan = kstep_plan(TINY, 3)
+    cell = run_cell(graph, plan, EngineKind.GRAPHTREK, 2)
+    assert cell.engine == "GraphTrek"
+    assert cell.nservers == 2
+    assert cell.elapsed > 0
+    assert cell.real_io_visits > 0
+
+
+def test_run_engine_comparison_covers_grid():
+    graph = rmat1_graph(TINY.scale, TINY.edge_factor)
+    plan = kstep_plan(TINY, 2)
+    cells = run_engine_comparison(graph, plan, TINY.servers)
+    assert len(cells) == len(TINY.servers) * 3
+    lookup = cell_lookup(cells)
+    assert ("Sync-GT", 2) in lookup and ("GraphTrek", 3) in lookup
+
+
+def test_cells_payload_json_serializable():
+    graph = rmat1_graph(TINY.scale, TINY.edge_factor)
+    plan = kstep_plan(TINY, 2)
+    cells = run_engine_comparison(graph, plan, (2,), engines=(EngineKind.SYNC,))
+    payload = cells_payload(cells)
+    text = json.dumps(payload)
+    assert "Sync-GT" in text
+    assert "per_server" not in text  # heavy field stripped
+
+
+def test_fmt_time_units():
+    assert fmt_time(2.5).strip() == "2.50 s"
+    assert fmt_time(0.0123).strip() == "12.3 ms"
+
+
+def test_engine_table_contains_rows_and_paper_refs():
+    cells = [
+        Cell("Sync-GT", 2, 1.0, 10, 0, 0, 5, 100, 3, 4),
+        Cell("GraphTrek", 2, 0.8, 8, 1, 2, 6, 120, 0, 5),
+    ]
+    text = engine_table("T", cells, [2], ["Sync-GT", "GraphTrek"],
+                        paper={("Sync-GT", 2): 47.8})
+    assert "47.8s" in text and "1.00 s" in text and "800.0 ms" in text
+
+
+def test_speedup_table_ratio():
+    cells = [
+        Cell("Sync-GT", 2, 2.0, 0, 0, 0, 0, 0, 0, 0),
+        Cell("GraphTrek", 2, 1.0, 0, 0, 0, 0, 0, 0, 0),
+    ]
+    text = speedup_table("S", cells, [2], "Sync-GT", ["GraphTrek"])
+    assert "0.500" in text
+
+
+def test_visit_breakdown_table_totals():
+    cell = Cell("GraphTrek", 2, 1.0, 3, 1, 2, 0, 0, 0, 0,
+                per_server={0: {"real": 2, "combined": 1}, 1: {"real": 1, "redundant": 2}})
+    text = visit_breakdown_table("V", cell)
+    assert "TOTAL" in text
+    assert "3" in text
+
+
+def test_kv_table_and_banner():
+    assert "a : 1" in kv_table("K", {"a": 1})
+    assert "### hello ###" in banner("hello")
+
+
+@pytest.mark.parametrize("name", ["table2"])
+def test_cheap_experiments_run(name):
+    """table2 runs in seconds; the heavy ones are covered by benchmarks/."""
+    from repro.bench.experiments import exp_table2
+
+    result = exp_table2()
+    assert result.all_passed, result.failed_checks()
+    assert result.rendered

@@ -1,0 +1,131 @@
+"""Randomized differential testing: Sync-GT ≡ Async-GT ≡ GraphTrek ≡ oracle.
+
+Hypothesis generates small random property graphs and random GTravel plans
+(steps, filters, rtn markers); every distributed engine must return exactly
+the oracle's per-level vertex sets, on varying server counts and with a tiny
+traversal-affiliate cache (to exercise eviction/replay paths).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind, ReferenceEngine, graphtrek_options
+from repro.graph import PropertyGraph
+from repro.lang import EQ, RANGE, GTravel
+from repro.lang.filters import FilterSet, PropertyFilter
+from repro.lang.plan import Step, TraversalPlan
+
+LABELS = ("a", "b")
+COLORS = (0, 1, 2)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    g = PropertyGraph()
+    for vid in range(n):
+        g.add_vertex(vid, "T", {"color": draw(st.sampled_from(COLORS))})
+    n_edges = draw(st.integers(min_value=1, max_value=3 * n))
+    for _ in range(n_edges):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 1))
+        label = draw(st.sampled_from(LABELS))
+        g.add_edge(src, dst, label, {"w": draw(st.integers(0, 3))})
+    return g
+
+
+@st.composite
+def plans(draw, graph: PropertyGraph):
+    n = graph.num_vertices
+    if draw(st.booleans()):
+        source_ids = tuple(
+            sorted(draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=3)))
+        )
+    else:
+        source_ids = None
+    source_filters = FilterSet()
+    if draw(st.booleans()):
+        source_filters = source_filters.add(
+            PropertyFilter("color", EQ, draw(st.sampled_from(COLORS)))
+        )
+    n_steps = draw(st.integers(min_value=0, max_value=4))
+    steps = []
+    for _ in range(n_steps):
+        edge_filters = FilterSet()
+        if draw(st.booleans()):
+            edge_filters = edge_filters.add(PropertyFilter("w", RANGE, (0, draw(st.integers(0, 3)))))
+        vertex_filters = FilterSet()
+        if draw(st.booleans()):
+            vertex_filters = vertex_filters.add(
+                PropertyFilter("color", EQ, draw(st.sampled_from(COLORS)))
+            )
+        labels = tuple(
+            sorted(draw(st.sets(st.sampled_from(LABELS), min_size=1, max_size=2)))
+        )
+        steps.append(Step(labels, edge_filters, vertex_filters))
+    rtn_levels = draw(st.sets(st.integers(0, n_steps), max_size=2))
+    return TraversalPlan(
+        source_ids=source_ids,
+        source_filters=source_filters,
+        steps=tuple(steps),
+        rtn_levels=frozenset(rtn_levels),
+    )
+
+
+@st.composite
+def cases(draw):
+    graph = draw(graphs())
+    plan = draw(plans(graph))
+    nservers = draw(st.integers(min_value=1, max_value=4))
+    return graph, plan, nservers
+
+
+@given(cases())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_all_engines_match_oracle_on_random_cases(case):
+    graph, plan, nservers = case
+    ref = ReferenceEngine(graph).run(plan)
+    for kind in (EngineKind.SYNC, EngineKind.ASYNC, EngineKind.GRAPHTREK):
+        cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=kind))
+        outcome = cluster.traverse(plan)
+        assert outcome.result.same_vertices(ref), (
+            f"{kind.value}: {outcome.result.returned} != {ref.returned} "
+            f"for plan {plan.describe()} on {nservers} servers"
+        )
+
+
+@given(cases())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_graphtrek_tiny_cache_matches_oracle(case):
+    """Cache eviction forces re-dispatch; results must stay exact."""
+    graph, plan, nservers = case
+    ref = ReferenceEngine(graph).run(plan)
+    opts = graphtrek_options(cache_capacity=2)
+    cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=opts))
+    outcome = cluster.traverse(plan)
+    assert outcome.result.same_vertices(ref)
+
+
+@given(cases())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_greedy_partition_matches_oracle(case):
+    graph, plan, nservers = case
+    ref = ReferenceEngine(graph).run(plan)
+    cluster = Cluster.build(
+        graph,
+        ClusterConfig(nservers=nservers, engine=EngineKind.GRAPHTREK, partitioner="greedy"),
+    )
+    assert cluster.traverse(plan).result.same_vertices(ref)

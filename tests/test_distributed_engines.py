@@ -1,0 +1,311 @@
+"""Differential and behavioural tests for the three distributed engines."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind, ReferenceEngine
+from repro.lang import EQ, IN, RANGE, GTravel
+from repro.workloads import (
+    data_audit_query,
+    paper_rmat1,
+    pick_start_vertex,
+    provenance_query,
+    rmat_graph,
+    rmat_kstep_query,
+    suspicious_user_query,
+)
+from tests.conftest import ALL_ENGINES, assert_engines_match_oracle, build_cluster
+
+
+# -- differential correctness on the metadata graph ----------------------------
+
+def test_one_step_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    assert_engines_match_oracle(graph, GTravel.v(ids["users"][0]).e("run"))
+
+
+def test_multi_step_chain_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(ids["users"][0]).e("run").e("hasExecutions").e("read")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_edge_filters_match_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(ids["users"][0]).e("run").ea("ts", RANGE, (0.0, 150.0)).e("hasExecutions")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_vertex_filters_match_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = (
+        GTravel.v(ids["users"][1])
+        .e("run").e("hasExecutions").e("read")
+        .va("kind", EQ, "text")
+    )
+    assert_engines_match_oracle(graph, q)
+
+
+def test_all_vertices_source_matches_oracle(metadata_graph):
+    graph, _ = metadata_graph
+    q = GTravel.v().va("type", EQ, "Execution").e("read")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_paper_audit_query_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = data_audit_query(ids["users"][0], 0.0, 1000.0)
+    assert_engines_match_oracle(graph, q)
+
+
+def test_paper_provenance_query_matches_oracle(metadata_graph):
+    graph, _ = metadata_graph
+    q = provenance_query(model="A", annotation="B")
+    ref, _ = assert_engines_match_oracle(graph, q)
+    # the provenance query returns executions (level 0), nothing else
+    assert set(ref.returned) == {0}
+
+
+def test_paper_suspicious_user_query_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = suspicious_user_query(ids["users"][2])
+    assert_engines_match_oracle(graph, q)
+
+
+def test_multi_source_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(*ids["users"]).e("run").e("hasExecutions")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_in_filter_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(*ids["execs"]).va("model", IN, ["A"]).e("write")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_zero_step_plan_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(*ids["files"]).va("kind", EQ, "text")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_missing_sources_yield_empty(metadata_graph):
+    graph, _ = metadata_graph
+    q = GTravel.v(10_000, 10_001).e("run")
+    ref, outcomes = assert_engines_match_oracle(graph, q)
+    assert ref.vertices == frozenset()
+
+
+def test_intermediate_rtn_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(*ids["jobs"]).rtn().e("hasExecutions").va("model", EQ, "A")
+    ref, _ = assert_engines_match_oracle(graph, q)
+    assert set(ref.returned) == {0}
+
+
+def test_double_rtn_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(ids["users"][0]).rtn().e("run").rtn().e("hasExecutions")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_single_server_cluster(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(ids["users"][0]).e("run").e("hasExecutions")
+    assert_engines_match_oracle(graph, q, nservers=1)
+
+
+def test_more_servers_than_work(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(ids["users"][0]).e("run")
+    assert_engines_match_oracle(graph, q, nservers=16)
+
+
+def test_greedy_partitioner_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(ids["users"][0]).e("run").e("hasExecutions").e("write")
+    assert_engines_match_oracle(graph, q, partitioner="greedy")
+
+
+def test_cycle_traversal_matches_oracle(metadata_graph):
+    """read -> readBy cycles revisit executions at deeper levels (§II-C)."""
+    graph, ids = metadata_graph
+    q = GTravel.v(*ids["execs"][:4]).e("read").e("readBy").e("read").e("readBy")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_rmat_traversal_matches_oracle():
+    cfg = paper_rmat1(scale=8, edge_factor=8)
+    graph = rmat_graph(cfg)
+    src = pick_start_vertex(cfg)
+    q = rmat_kstep_query(src, 5)
+    assert_engines_match_oracle(graph, q, nservers=5)
+
+
+# -- engine-specific behaviour ----------------------------------------------------
+
+def test_sync_engine_reports_barrier_rounds(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    out = cluster.traverse(GTravel.v(ids["users"][0]).e("run").e("hasExecutions"))
+    assert out.stats.barrier_rounds == 3  # levels 0, 1, 2
+    assert out.stats.redundant_visits == 0
+    assert out.stats.combined_visits == 0
+
+
+def test_async_engines_report_no_barriers(metadata_graph):
+    graph, ids = metadata_graph
+    for kind in (EngineKind.ASYNC, EngineKind.GRAPHTREK):
+        cluster = build_cluster(graph, kind)
+        out = cluster.traverse(GTravel.v(ids["users"][0]).e("run"))
+        assert out.stats.barrier_rounds == 0
+
+
+def test_graphtrek_drops_duplicates_async_pays_io():
+    """On a duplicate-heavy traversal, GraphTrek records redundant visits
+    while Async-GT re-reads (more real I/O) — the §V-A mechanism."""
+    cfg = paper_rmat1(scale=8, edge_factor=8)
+    graph = rmat_graph(cfg)
+    src = pick_start_vertex(cfg)
+    plan = rmat_kstep_query(src, 6).compile()
+    gt = build_cluster(graph, EngineKind.GRAPHTREK, nservers=4).traverse(plan)
+    pa = build_cluster(graph, EngineKind.ASYNC, nservers=4).traverse(plan)
+    sy = build_cluster(graph, EngineKind.SYNC, nservers=4).traverse(plan)
+    assert gt.stats.redundant_visits > 0
+    assert pa.stats.redundant_visits == 0
+    assert pa.stats.real_io_visits > sy.stats.real_io_visits
+    assert gt.stats.real_io_visits + gt.stats.combined_visits <= pa.stats.real_io_visits
+
+
+def test_stats_visit_identity():
+    """total received requests = real + combined + redundant (Fig. 7)."""
+    cfg = paper_rmat1(scale=7, edge_factor=8)
+    graph = rmat_graph(cfg)
+    src = pick_start_vertex(cfg)
+    out = build_cluster(graph, EngineKind.GRAPHTREK, nservers=4).traverse(
+        rmat_kstep_query(src, 5).compile()
+    )
+    st = out.stats
+    assert st.total_visits == st.real_io_visits + st.combined_visits + st.redundant_visits
+    per_server_total = sum(
+        sum(bucket.values()) for bucket in st.per_server.values()
+    )
+    assert per_server_total == st.total_visits
+
+
+def test_elapsed_positive_and_messages_counted(metadata_graph):
+    graph, ids = metadata_graph
+    for kind in ALL_ENGINES:
+        out = build_cluster(graph, kind).traverse(GTravel.v(ids["users"][0]).e("run"))
+        assert out.stats.elapsed > 0
+        assert out.stats.messages > 0
+        assert out.stats.bytes_sent > 0
+
+
+def test_deterministic_elapsed(metadata_graph):
+    graph, ids = metadata_graph
+    plan = GTravel.v(ids["users"][0]).e("run").e("hasExecutions").compile()
+    def run():
+        return build_cluster(graph, EngineKind.GRAPHTREK).traverse(plan).stats.elapsed
+    assert run() == run()
+
+
+def test_concurrent_traversals(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    plans = [
+        GTravel.v(ids["users"][0]).e("run").compile(),
+        GTravel.v(ids["users"][1]).e("run").e("hasExecutions").compile(),
+        GTravel.v().va("type", EQ, "File").compile(),
+    ]
+    outcomes = cluster.traverse_many(plans)
+    ref = ReferenceEngine(graph)
+    for plan, outcome in zip(plans, outcomes):
+        assert outcome.result.same_vertices(ref.run(plan))
+
+
+def test_concurrent_traversals_sync_engine(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    plans = [
+        GTravel.v(ids["users"][0]).e("run").compile(),
+        GTravel.v(ids["users"][2]).e("run").e("hasExecutions").compile(),
+    ]
+    outcomes = cluster.traverse_many(plans)
+    ref = ReferenceEngine(graph)
+    for plan, outcome in zip(plans, outcomes):
+        assert outcome.result.same_vertices(ref.run(plan))
+
+
+def test_sequential_traversals_reuse_cluster(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    for user in ids["users"]:
+        out = cluster.traverse(GTravel.v(user).e("run"))
+        expected = ReferenceEngine(graph).run(GTravel.v(user).e("run").compile())
+        assert out.result.same_vertices(expected)
+
+
+def test_live_updates_visible_to_traversal(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    user = ids["users"][0]
+    new_job = 5000
+    cluster.ingest_vertex(new_job, "Job", {"jobid": 999, "ts": 1.0})
+    cluster.ingest_edge(user, new_job, "run", {"ts": 1.0})
+    out = cluster.traverse(GTravel.v(user).e("run"))
+    assert new_job in out.result.vertices
+
+
+def test_ingest_edge_requires_ingested_source(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        cluster.ingest_edge(99_999, 1, "run")
+
+
+def test_progress_reports_during_run(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    plan = GTravel.v(ids["users"][0]).e("run").e("hasExecutions").compile()
+    travel_id, event = cluster.submit(plan)
+    # drive the simulation a tiny bit, then ask for progress
+    cluster.runtime.sim.run(until=cluster.runtime.sim.peek())
+    progress = cluster.progress(travel_id)
+    assert isinstance(progress, dict)
+    cluster.runtime.run_until_complete(event)
+    assert cluster.progress(travel_id) == {}  # finished traversals report empty
+
+
+def test_server_loads_and_cold_start(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    loads = cluster.server_loads()
+    assert sum(loads) == graph.num_vertices
+    cluster.cold_start()  # must not raise
+
+
+def test_engine_options_override(metadata_graph):
+    from repro.engine import graphtrek_options
+    graph, ids = metadata_graph
+    opts = graphtrek_options(workers=1, cache_capacity=16)
+    cluster = Cluster.build(graph, ClusterConfig(nservers=2, engine=opts))
+    out = cluster.traverse(GTravel.v(ids["users"][0]).e("run"))
+    expected = ReferenceEngine(graph).run(GTravel.v(ids["users"][0]).e("run").compile())
+    assert out.result.same_vertices(expected)
+
+
+def test_tiny_cache_still_correct():
+    """Cache evictions cause re-dispatch but never wrong results."""
+    from repro.engine import graphtrek_options
+    cfg = paper_rmat1(scale=7, edge_factor=8)
+    graph = rmat_graph(cfg)
+    src = pick_start_vertex(cfg)
+    plan = rmat_kstep_query(src, 5).compile()
+    ref = ReferenceEngine(graph).run(plan)
+    opts = graphtrek_options(cache_capacity=8)
+    cluster = Cluster.build(graph, ClusterConfig(nservers=3, engine=opts))
+    out = cluster.traverse(plan, limit=10_000)
+    assert out.result.same_vertices(ref)

@@ -1,0 +1,127 @@
+"""Tests for key/value codecs and the graph-on-KV layout invariants."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import encoding as enc
+
+
+def test_value_roundtrip_all_types():
+    for value in (None, True, False, 0, -5, 2**40, 3.14, -0.0, "héllo", b"\x00\xff", ""):
+        packed = enc.pack_value(value)
+        out, offset = enc.unpack_value(packed)
+        assert out == value
+        assert offset == len(packed)
+
+
+def test_value_rejects_unsupported_type():
+    with pytest.raises(StorageError):
+        enc.pack_value([1, 2])
+
+
+def test_bool_is_not_confused_with_int():
+    assert enc.unpack_value(enc.pack_value(True))[0] is True
+    assert enc.unpack_value(enc.pack_value(1))[0] == 1
+    assert enc.pack_value(True) != enc.pack_value(1)
+
+
+def test_props_roundtrip():
+    props = {"z": 1, "a": "x", "m": 2.5, "b": b"raw", "n": None}
+    packed = enc.pack_props(props)
+    out, _ = enc.unpack_props(packed)
+    assert out == props
+
+
+def test_props_deterministic_encoding():
+    assert enc.pack_props({"a": 1, "b": 2}) == enc.pack_props({"b": 2, "a": 1})
+
+
+def test_edge_record_roundtrip():
+    packed = enc.pack_edge_record(1234, {"ts": 99})
+    dst, props = enc.unpack_edge_record(packed)
+    assert dst == 1234 and props == {"ts": 99}
+
+
+def test_attr_key_roundtrip():
+    key = enc.attr_key("User", 42, "name")
+    assert enc.parse_attr_key(key) == ("User", 42, "name")
+
+
+def test_edge_key_roundtrip():
+    key = enc.edge_key("User", 42, "run", 7)
+    assert enc.parse_edge_key(key) == ("User", 42, "run", 7)
+
+
+def test_attrs_sort_before_edges_within_vertex():
+    """The layout invariant: a vertex's attribute pairs precede its edge
+    pairs, and everything for one vertex is contiguous."""
+    attr = enc.attr_key("T", 5, "zzz")
+    edge = enc.edge_key("T", 5, "aaa", 0)
+    assert attr < edge
+    prefix = enc.vertex_prefix("T", 5)
+    assert attr.startswith(prefix) and edge.startswith(prefix)
+
+
+def test_same_label_edges_contiguous():
+    """Edges of one label sort together — the sequential-scan property."""
+    keys = [
+        enc.edge_key("T", 1, "read", 1),
+        enc.edge_key("T", 1, "write", 0),
+        enc.edge_key("T", 1, "read", 0),
+        enc.edge_key("T", 1, "write", 1),
+    ]
+    keys.sort()
+    labels = [enc.parse_edge_key(k)[2] for k in keys]
+    assert labels == ["read", "read", "write", "write"]
+
+
+def test_vertices_sorted_by_id_within_namespace():
+    k1 = enc.vertex_prefix("T", 1)
+    k2 = enc.vertex_prefix("T", 2)
+    k300 = enc.vertex_prefix("T", 300)
+    assert k1 < k2 < k300  # fixed-width big-endian ids
+
+
+def test_namespaces_partition_keyspace():
+    a_end = enc.prefix_end(b"A\x00")
+    b_start = enc.vertex_prefix("B", 0)
+    assert a_end <= b_start
+
+
+def test_prefix_end_covers_prefixed_keys():
+    prefix = enc.edges_prefix("T", 3, "run")
+    end = enc.prefix_end(prefix)
+    inside = enc.edge_key("T", 3, "run", 2**30)
+    outside = enc.edge_key("T", 3, "runx", 0)
+    assert prefix <= inside < end
+    assert not (prefix <= outside < end)
+
+
+def test_prefix_end_handles_trailing_ff():
+    assert enc.prefix_end(b"a\xff") == b"b"
+    assert enc.prefix_end(b"\xff\xff")  # all-FF fallback doesn't crash
+
+
+def test_namespace_rejects_nul():
+    with pytest.raises(StorageError):
+        enc.vertex_prefix("bad\x00ns", 1)
+
+
+def test_edge_label_rejects_nul():
+    with pytest.raises(StorageError):
+        enc.edge_key("T", 1, "bad\x00label", 0)
+
+
+def test_parse_attr_key_rejects_edge_key():
+    with pytest.raises(StorageError):
+        enc.parse_attr_key(enc.edge_key("T", 1, "run", 0))
+
+
+def test_parse_edge_key_rejects_attr_key():
+    with pytest.raises(StorageError):
+        enc.parse_edge_key(enc.attr_key("T", 1, "name"))
+
+
+def test_iter_props_pairs_sorted():
+    pairs = list(enc.iter_props_pairs({"b": 1, "a": 2}))
+    assert [k for k, _ in pairs] == ["a", "b"]

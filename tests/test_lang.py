@@ -1,0 +1,216 @@
+"""Tests for GTravel: filters, the builder, and compiled plans."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.lang import (
+    EQ,
+    IN,
+    RANGE,
+    FilterOp,
+    FilterSet,
+    GTravel,
+    PropertyFilter,
+    union_results,
+)
+
+
+# -- filters ---------------------------------------------------------------
+
+def test_eq_filter():
+    f = PropertyFilter("x", EQ, 5)
+    assert f.matches({"x": 5})
+    assert not f.matches({"x": 6})
+    assert not f.matches({})  # missing property never matches
+
+
+def test_in_filter():
+    f = PropertyFilter("x", IN, [1, 2, 3])
+    assert f.matches({"x": 2})
+    assert not f.matches({"x": 9})
+    assert isinstance(f.value, frozenset)
+
+
+def test_in_filter_requires_iterable():
+    with pytest.raises(QueryError):
+        PropertyFilter("x", IN, 5)
+
+
+def test_range_filter_inclusive():
+    f = PropertyFilter("x", RANGE, (1, 10))
+    assert f.matches({"x": 1})
+    assert f.matches({"x": 10})
+    assert not f.matches({"x": 0})
+    assert not f.matches({"x": 11})
+
+
+def test_range_filter_validation():
+    with pytest.raises(QueryError):
+        PropertyFilter("x", RANGE, (10, 1))
+    with pytest.raises(QueryError):
+        PropertyFilter("x", RANGE, 5)
+
+
+def test_range_filter_type_mismatch_is_false():
+    f = PropertyFilter("x", RANGE, (1, 10))
+    assert not f.matches({"x": "not-a-number"})
+
+
+def test_in_filter_unhashable_value_is_false():
+    f = PropertyFilter("x", IN, [1, 2])
+    assert not f.matches({"x": [1]})
+
+
+def test_filter_requires_key_and_op():
+    with pytest.raises(QueryError):
+        PropertyFilter("", EQ, 1)
+    with pytest.raises(QueryError):
+        PropertyFilter("x", "EQ", 1)  # not a FilterOp
+
+
+def test_filterset_and_composition():
+    fs = FilterSet().add(PropertyFilter("a", EQ, 1)).add(PropertyFilter("b", EQ, 2))
+    assert fs.matches({"a": 1, "b": 2})
+    assert not fs.matches({"a": 1, "b": 3})
+    assert len(fs) == 2
+
+
+def test_empty_filterset_matches_everything():
+    fs = FilterSet()
+    assert fs.matches({})
+    assert not fs  # falsy when empty
+    assert fs.describe() == "*"
+
+
+def test_filterset_describe():
+    fs = FilterSet().add(PropertyFilter("ts", RANGE, (0, 5)))
+    assert "ts RANGE" in fs.describe()
+
+
+# -- builder -----------------------------------------------------------------
+
+def test_paper_audit_query_compiles():
+    plan = (
+        GTravel.v(7)
+        .e("run")
+        .ea("start_ts", RANGE, (10, 20))
+        .e("read")
+        .va("type", EQ, "text")
+        .rtn()
+        .compile()
+    )
+    assert plan.source_ids == (7,)
+    assert plan.num_steps == 2
+    assert plan.steps[0].label == "run"
+    assert len(plan.steps[0].edge_filters) == 1
+    assert len(plan.steps[1].vertex_filters) == 1
+    assert plan.return_levels == frozenset({2})
+
+
+def test_paper_provenance_query_compiles():
+    plan = (
+        GTravel.v()
+        .va("type", EQ, "Execution")
+        .rtn()
+        .va("model", EQ, "A")
+        .e("read")
+        .va("annotation", EQ, "B")
+        .compile()
+    )
+    assert plan.source_ids is None
+    assert len(plan.source_filters) == 2
+    assert plan.rtn_levels == frozenset({0})
+    assert plan.has_intermediate_returns
+
+
+def test_methods_chain_return_self():
+    q = GTravel.v(1)
+    assert q.e("x") is q
+    assert q.ea("k", EQ, 1) is q
+    assert q.va("k", EQ, 1) is q
+    assert q.rtn() is q
+
+
+def test_v_dedupes_preserving_order():
+    plan = GTravel.v(3, 1, 3, 2).compile()
+    assert plan.source_ids == (3, 1, 2)
+
+
+def test_v_requires_int_ids():
+    with pytest.raises(QueryError):
+        GTravel.v("a")
+    with pytest.raises(QueryError):
+        GTravel.v(True)
+
+
+def test_v_only_once():
+    with pytest.raises(QueryError):
+        GTravel.v(1).v_(2)
+
+
+def test_ea_requires_step():
+    with pytest.raises(QueryError):
+        GTravel.v(1).ea("k", EQ, 1)
+
+
+def test_e_requires_source():
+    with pytest.raises(QueryError):
+        GTravel().e("x")
+
+
+def test_empty_label_rejected():
+    with pytest.raises(QueryError):
+        GTravel.v(1).e("")
+
+
+def test_compile_without_source_rejected():
+    with pytest.raises(QueryError):
+        GTravel().compile()
+
+
+def test_zero_step_plan():
+    plan = GTravel.v(1, 2).va("t", EQ, "x").compile()
+    assert plan.num_steps == 0
+    assert plan.final_level == 0
+    assert plan.return_levels == frozenset({0})
+    assert not plan.has_intermediate_returns
+
+
+def test_default_returns_final_level():
+    plan = GTravel.v(1).e("a").e("b").compile()
+    assert plan.return_levels == frozenset({2})
+
+
+def test_multiple_rtn_levels():
+    plan = GTravel.v(1).rtn().e("a").rtn().e("b").compile()
+    assert plan.rtn_levels == frozenset({0, 1})
+    assert plan.return_levels == frozenset({0, 1})
+    assert plan.has_intermediate_returns
+
+
+def test_rtn_at_final_is_not_intermediate():
+    plan = GTravel.v(1).e("a").rtn().compile()
+    assert plan.return_levels == frozenset({1})
+    assert not plan.has_intermediate_returns
+
+
+def test_describe_roundtrips_structure():
+    text = GTravel.v(1).e("run").ea("ts", RANGE, (0, 9)).rtn().describe()
+    assert "GTravel.v(1)" in text
+    assert ".e('run')" in text
+    assert "RANGE" in text
+    assert ".rtn()" in text
+
+
+def test_describe_all_vertices():
+    assert GTravel.v().describe().startswith("GTravel.v()")
+
+
+def test_union_results():
+    assert union_results({1, 2}, [2, 3], (4,)) == {1, 2, 3, 4}
+    assert union_results() == set()
+
+
+def test_filterop_enum_values():
+    assert FilterOp.EQ.value == "EQ"
+    assert EQ is FilterOp.EQ and IN is FilterOp.IN and RANGE is FilterOp.RANGE

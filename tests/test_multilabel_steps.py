@@ -1,0 +1,87 @@
+"""Tests for the multi-label step extension: ``e("read", "write")``."""
+
+import pytest
+
+from repro.engine import EngineKind, ReferenceEngine
+from repro.errors import QueryError
+from repro.lang import GTravel
+from repro.lang.plan import Step
+from tests.conftest import assert_engines_match_oracle
+
+
+def test_e_accepts_multiple_labels():
+    plan = GTravel.v(1).e("read", "write").compile()
+    assert plan.steps[0].labels == ("read", "write")
+    assert plan.steps[0].label == "read"  # display helper
+
+
+def test_e_dedupes_labels():
+    plan = GTravel.v(1).e("a", "b", "a").compile()
+    assert plan.steps[0].labels == ("a", "b")
+
+
+def test_e_rejects_empty_labels():
+    with pytest.raises(QueryError):
+        GTravel.v(1).e()
+    with pytest.raises(QueryError):
+        GTravel.v(1).e("a", "")
+
+
+def test_step_accepts_single_string():
+    step = Step("read")
+    assert step.labels == ("read",)
+
+
+def test_step_rejects_empty():
+    with pytest.raises(QueryError):
+        Step(())
+
+
+def test_describe_shows_all_labels():
+    text = GTravel.v(1).e("read", "write").describe()
+    assert ".e('read', 'write')" in text
+
+
+def test_reference_unions_labels(metadata_graph):
+    graph, ids = metadata_graph
+    ex = ids["execs"][0]
+    multi = ReferenceEngine(graph).run(GTravel.v(ex).e("read", "write").compile())
+    reads = ReferenceEngine(graph).run(GTravel.v(ex).e("read").compile())
+    writes = ReferenceEngine(graph).run(GTravel.v(ex).e("write").compile())
+    assert multi.vertices == reads.vertices | writes.vertices
+    assert multi.vertices > reads.vertices or multi.vertices > writes.vertices
+
+
+def test_engines_match_oracle_multilabel(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(*ids["execs"][:6]).e("read", "write", "exe")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_multilabel_mid_chain_matches_oracle(metadata_graph):
+    graph, ids = metadata_graph
+    q = GTravel.v(ids["users"][0]).e("run").e("hasExecutions").e("read", "write")
+    assert_engines_match_oracle(graph, q)
+
+
+def test_multilabel_with_edge_filters(metadata_graph):
+    from repro.lang import RANGE
+
+    graph, ids = metadata_graph
+    q = (
+        GTravel.v(*ids["execs"])
+        .e("read", "write")
+        .ea("ts", RANGE, (0.0, 10.0))
+    )
+    assert_engines_match_oracle(graph, q)
+
+
+def test_multilabel_touchfiles_idiom(metadata_graph):
+    """The natural audit idiom this extension enables: every file an
+    execution touched, regardless of how."""
+    graph, ids = metadata_graph
+    q = GTravel.v(*ids["execs"]).e("read", "write", "exe")
+    ref, _ = assert_engines_match_oracle(graph, q)
+    assert ref.vertices  # touches something
+    for vid in ref.vertices:
+        assert graph.vertex(vid).vtype == "File"

@@ -1,0 +1,72 @@
+"""Tests for messages and the network model."""
+
+import pytest
+
+from repro.net import (
+    ETHERNET_10G,
+    INFINIBAND_QDR,
+    ExecStatus,
+    NetworkModel,
+    ResultReport,
+    SuccessReport,
+    SyncBatch,
+    SyncStepDone,
+    TraverseRequest,
+    entries_nbytes,
+)
+
+
+def test_latency_base_plus_bandwidth():
+    model = NetworkModel(base_latency=1e-4, bandwidth=1e6, loopback_latency=1e-6)
+    assert model.latency(0, 1, 0) == pytest.approx(1e-4)
+    assert model.latency(0, 1, 1_000_000) == pytest.approx(1e-4 + 1.0)
+
+
+def test_loopback_cheaper_than_remote():
+    assert INFINIBAND_QDR.latency(3, 3, 4096) < INFINIBAND_QDR.latency(3, 4, 4096)
+
+
+def test_client_latency_slower_than_server_network():
+    assert INFINIBAND_QDR.client_latency(1024) > INFINIBAND_QDR.latency(0, 1, 1024)
+
+
+def test_ethernet_slower_than_ib():
+    assert ETHERNET_10G.latency(0, 1, 65536) > INFINIBAND_QDR.latency(0, 1, 65536)
+
+
+def test_entries_nbytes_scales_with_entries_and_anchors():
+    small = entries_nbytes({1: ()})
+    big = entries_nbytes({i: () for i in range(10)})
+    assert big > small
+    anchored = entries_nbytes({1: (frozenset(range(100)),)})
+    assert anchored > small
+
+
+def test_traverse_request_size_includes_plan():
+    msg = TraverseRequest(1, level=0, entries={1: ()}, exec_id=1, from_server=0)
+    assert msg.nbytes > 256  # plan shipped with every dispatch
+
+
+def test_exec_status_size_scales_with_created():
+    a = ExecStatus(1, exec_id=1, created=())
+    b = ExecStatus(1, exec_id=1, created=tuple((i, 0, 1) for i in range(10)))
+    assert b.nbytes > a.nbytes
+
+
+def test_result_report_size_scales_with_vertices():
+    a = ResultReport(1, level=1, vertices=frozenset([1]))
+    b = ResultReport(1, level=1, vertices=frozenset(range(100)))
+    assert b.nbytes > a.nbytes
+
+
+def test_success_report_fields():
+    msg = SuccessReport(1, rtn_level=2, anchors=frozenset([5]), exec_id=9)
+    assert msg.rtn_level == 2 and 5 in msg.anchors
+    assert msg.nbytes > 0
+
+
+def test_sync_messages_defaults():
+    batch = SyncBatch(1, level=3, entries={2: ()}, from_server=1)
+    assert batch.nbytes > 256
+    done = SyncStepDone(1, level=3, server=1, sent_counts={0: 1, 2: 2})
+    assert done.nbytes > SyncStepDone(1).nbytes

@@ -1,0 +1,137 @@
+"""Tests for edge-cut and vertex-cut partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import PropertyGraph
+from repro.partition import (
+    GreedyBalancedEdgeCut,
+    HashEdgeCut,
+    VertexCutResult,
+    evaluate_partition,
+    greedy_vertex_cut,
+    make_partitioner,
+    splitmix64,
+)
+from repro.workloads import paper_rmat1, rmat_graph
+
+
+def skewed_graph() -> PropertyGraph:
+    g = PropertyGraph()
+    for i in range(20):
+        g.add_vertex(i, "A")
+    # vertex 0 is a hub with 15 out-edges; others sparse
+    for i in range(1, 16):
+        g.add_edge(0, i, "to")
+    g.add_edge(1, 2, "to")
+    g.add_edge(3, 4, "to")
+    return g
+
+
+def test_splitmix64_deterministic_and_spread():
+    assert splitmix64(1) == splitmix64(1)
+    values = {splitmix64(i) % 8 for i in range(64)}
+    assert len(values) == 8  # hits every bucket
+
+
+def test_hash_edge_cut_covers_all_vertices():
+    g = skewed_graph()
+    part = HashEdgeCut(4)
+    assignment = part.assign(g)
+    assert sum(len(p) for p in assignment) == g.num_vertices
+    flat = [v for p in assignment for v in p]
+    assert sorted(flat) == sorted(g.vertex_ids())
+
+
+def test_hash_edge_cut_stable():
+    part = HashEdgeCut(8)
+    assert all(part.owner(v) == part.owner(v) for v in range(100))
+
+
+def test_hash_salt_changes_assignment():
+    a = HashEdgeCut(8, salt=0)
+    b = HashEdgeCut(8, salt=12345)
+    assert any(a.owner(v) != b.owner(v) for v in range(100))
+
+
+def test_single_server_owns_everything():
+    part = HashEdgeCut(1)
+    assert all(part.owner(v) == 0 for v in range(50))
+
+
+def test_invalid_server_count():
+    with pytest.raises(PartitionError):
+        HashEdgeCut(0)
+
+
+def test_greedy_balances_edges_better_than_hash():
+    g = rmat_graph(paper_rmat1(scale=8, edge_factor=8))
+    hash_report = evaluate_partition(g, HashEdgeCut(8))
+    greedy_report = evaluate_partition(g, GreedyBalancedEdgeCut(8).fit(g))
+    assert greedy_report.edge_imbalance <= hash_report.edge_imbalance
+    assert greedy_report.edge_imbalance < 1.2
+
+
+def test_greedy_requires_fit():
+    part = GreedyBalancedEdgeCut(4)
+    with pytest.raises(PartitionError):
+        part.owner(1)
+
+
+def test_make_partitioner_factory():
+    g = skewed_graph()
+    assert isinstance(make_partitioner("hash", 4), HashEdgeCut)
+    assert isinstance(make_partitioner("greedy", 4, graph=g), GreedyBalancedEdgeCut)
+    with pytest.raises(PartitionError):
+        make_partitioner("greedy", 4)
+    with pytest.raises(PartitionError):
+        make_partitioner("nope", 4)
+
+
+def test_partition_report_metrics():
+    g = skewed_graph()
+    report = evaluate_partition(g, HashEdgeCut(4))
+    assert report.vertex_loads.sum() == g.num_vertices
+    assert report.edge_loads.sum() == g.num_edges
+    assert report.byte_loads.sum() > 0
+    d = report.as_dict()
+    assert d["nservers"] == 4
+    assert d["edge_imbalance"] >= 1.0
+
+
+def test_vertex_cut_covers_all_edges():
+    g = skewed_graph()
+    result = greedy_vertex_cut(g, 4)
+    assert isinstance(result, VertexCutResult)
+    assert result.edge_loads.sum() == g.num_edges
+    # every vertex has at least one replica
+    assert set(result.replicas) == set(g.vertex_ids())
+
+
+def test_vertex_cut_replication_factor_bounds():
+    g = skewed_graph()
+    result = greedy_vertex_cut(g, 4)
+    assert 1.0 <= result.replication_factor <= 4.0
+
+
+def test_vertex_cut_balances_hub_edges():
+    """The greedy vertex-cut splits the hub's edges across servers, which an
+    edge-cut cannot do — the property the paper's §VI discussion cites."""
+    g = skewed_graph()
+    vc = greedy_vertex_cut(g, 4)
+    ec = evaluate_partition(g, HashEdgeCut(4))
+    assert vc.edge_imbalance <= ec.edge_imbalance
+
+
+def test_vertex_cut_invalid_servers():
+    with pytest.raises(PartitionError):
+        greedy_vertex_cut(skewed_graph(), 0)
+
+
+def test_hash_partition_roughly_uniform_on_rmat():
+    g = rmat_graph(paper_rmat1(scale=8, edge_factor=4))
+    report = evaluate_partition(g, HashEdgeCut(8))
+    assert report.vertex_imbalance < 1.3
+    loads = report.vertex_loads
+    assert loads.min() > 0.5 * loads.mean()

@@ -1,0 +1,149 @@
+"""Tests for checkpoint/restore of the LSM store and graph store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph import GraphBuilder, hpc_metadata_schema
+from repro.storage import GraphStore, LSMConfig, LSMStore
+from repro.storage.memtable import TOMBSTONE
+from repro.storage.persist import (
+    checkpoint_graph_store,
+    checkpoint_store,
+    restore_graph_store,
+    restore_store,
+)
+
+
+def test_lsm_checkpoint_roundtrip(tmp_path):
+    store = LSMStore(LSMConfig())
+    for i in range(100):
+        store.put(f"key-{i:03d}".encode(), f"value-{i}".encode())
+    store.flush()
+    store.put(b"in-memtable", b"flushed-by-checkpoint")
+    checkpoint_store(store, tmp_path / "ckpt")
+    restored = restore_store(tmp_path / "ckpt")
+    assert restored.get(b"key-042")[0] == b"value-42"
+    assert restored.get(b"in-memtable")[0] == b"flushed-by-checkpoint"
+    assert len(restored) == len(store)
+
+
+def test_checkpoint_preserves_tombstones(tmp_path):
+    store = LSMStore(LSMConfig())
+    store.put(b"a", b"1")
+    store.flush()
+    store.delete(b"a")
+    checkpoint_store(store, tmp_path)
+    restored = restore_store(tmp_path)
+    assert restored.get(b"a")[0] is None
+    # the tombstone itself is in the newest restored table
+    assert any(TOMBSTONE in t.values for t in restored.sstables)
+
+
+def test_checkpoint_preserves_table_order(tmp_path):
+    """Newest-first ordering decides which version of a key wins."""
+    store = LSMStore(LSMConfig())
+    store.put(b"k", b"old")
+    store.flush()
+    store.put(b"k", b"new")
+    store.flush()
+    checkpoint_store(store, tmp_path)
+    restored = restore_store(tmp_path)
+    assert restored.get(b"k")[0] == b"new"
+
+
+def test_checkpoint_binary_safe(tmp_path):
+    store = LSMStore(LSMConfig())
+    weird = bytes(range(256))
+    store.put(b"\x00\xff\x01", weird)
+    checkpoint_store(store, tmp_path)
+    assert restore_store(tmp_path).get(b"\x00\xff\x01")[0] == weird
+
+
+def test_restore_missing_manifest(tmp_path):
+    with pytest.raises(StorageError, match="manifest"):
+        restore_store(tmp_path)
+
+
+def test_restore_rejects_bad_version(tmp_path):
+    store = LSMStore(LSMConfig())
+    store.put(b"a", b"1")
+    checkpoint_store(store, tmp_path)
+    manifest = tmp_path / "MANIFEST"
+    manifest.write_text(manifest.read_text().replace('"version": 1', '"version": 99'))
+    with pytest.raises(StorageError, match="version"):
+        restore_store(tmp_path)
+
+
+def test_restore_detects_truncated_table(tmp_path):
+    store = LSMStore(LSMConfig())
+    store.put(b"abcdef", b"payload-payload")
+    checkpoint_store(store, tmp_path)
+    sst = tmp_path / "000000.sst"
+    sst.write_bytes(sst.read_bytes()[:-4])
+    with pytest.raises(StorageError, match="truncated"):
+        restore_store(tmp_path)
+
+
+def test_checkpoint_overwrites_previous(tmp_path):
+    store = LSMStore(LSMConfig())
+    store.put(b"v", b"1")
+    checkpoint_store(store, tmp_path)
+    store.put(b"v", b"2")
+    checkpoint_store(store, tmp_path)
+    assert restore_store(tmp_path).get(b"v")[0] == b"2"
+
+
+def test_graph_store_checkpoint_roundtrip(tmp_path):
+    b = GraphBuilder(schema=hpc_metadata_schema())
+    u = b.vertex("User", name="sam")
+    j = b.vertex("Job", jobid=1, ts=5.0)
+    b.edge(u, j, "run", ts=5.0)
+    graph = b.build()
+    gstore = GraphStore(LSMConfig())
+    gstore.load_partition(graph, [u, j])
+    gstore.insert_vertex(99, "File", {"name": "/x"})
+
+    checkpoint_graph_store(gstore, tmp_path)
+    restored = restore_graph_store(tmp_path)
+
+    assert restored.vertex_count() == 3
+    assert restored.namespace_of(u) == "User"
+    props, _ = restored.vertex_props(u)
+    assert props["name"] == "sam"
+    edges, _ = restored.edges(u, "run")
+    assert edges == [(j, {"ts": 5.0})]
+    assert restored.local_vertices_of_type("File") == [99]
+
+
+def test_graph_store_restore_requires_index(tmp_path):
+    store = LSMStore(LSMConfig())
+    store.put(b"a", b"1")
+    checkpoint_store(store, tmp_path)  # KV only, no vertex index
+    with pytest.raises(StorageError, match="vertex index"):
+        restore_graph_store(tmp_path)
+
+
+def test_restored_server_serves_traversals(tmp_path):
+    """End to end: kill a server's store, restore from checkpoint, traverse."""
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.engine import EngineKind, ReferenceEngine
+    from repro.lang import GTravel
+
+    b = GraphBuilder(schema=hpc_metadata_schema())
+    u = b.vertex("User", name="sam")
+    jobs = [b.vertex("Job", jobid=i, ts=float(i)) for i in range(6)]
+    for j in jobs:
+        b.edge(u, j, "run", ts=1.0)
+    graph = b.build()
+    cluster = Cluster.build(graph, ClusterConfig(nservers=3, engine=EngineKind.GRAPHTREK))
+
+    victim = cluster.servers[1]
+    checkpoint_graph_store(victim.store, tmp_path)
+    victim.store = None  # "server failure"
+    restored = restore_graph_store(tmp_path)
+    victim.store = restored
+    victim.engine.store = restored
+
+    plan = GTravel.v(u).e("run").compile()
+    out = cluster.traverse(plan)
+    assert out.result.same_vertices(ReferenceEngine(graph).run(plan))

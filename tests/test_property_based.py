@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine.cache import TraversalAffiliateCache
+from repro.engine.frontier import anchors_covered, anchors_union, merge_entry
+from repro.lang import EQ, IN, RANGE, FilterSet, PropertyFilter
+from repro.storage import LSMConfig, LSMStore
+from repro.storage import encoding as enc
+
+# -- value / props codec ------------------------------------------------------
+
+scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+
+@given(scalar)
+def test_value_codec_roundtrip(value):
+    packed = enc.pack_value(value)
+    out, offset = enc.unpack_value(packed)
+    assert out == value and offset == len(packed)
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=12), scalar, max_size=8))
+def test_props_codec_roundtrip(props):
+    out, _ = enc.unpack_props(enc.pack_props(props))
+    assert out == props
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1),
+       st.text(min_size=1, max_size=8).filter(lambda s: "\x00" not in s))
+def test_attr_key_roundtrip(vid, prop):
+    ns, vid2, prop2 = enc.parse_attr_key(enc.attr_key("T", vid, prop))
+    assert (ns, vid2, prop2) == ("T", vid, prop)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=2, max_size=20,
+                unique=True))
+def test_vertex_key_order_matches_id_order(vids):
+    keys = [enc.vertex_prefix("T", v) for v in vids]
+    assert sorted(keys) == [enc.vertex_prefix("T", v) for v in sorted(vids)]
+
+
+@given(st.binary(min_size=1, max_size=16).filter(lambda b: b != b"\xff" * len(b)))
+def test_prefix_end_is_tight_upper_bound(prefix):
+    end = enc.prefix_end(prefix)
+    assert prefix < end
+    assert (prefix + b"\xff" * 4) < end
+
+
+# -- LSM store: model-based against a dict ------------------------------------------
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.binary(min_size=1, max_size=6),
+                  st.binary(max_size=10)),
+        st.tuples(st.just("del"), st.binary(min_size=1, max_size=6)),
+        st.tuples(st.just("flush")),
+        st.tuples(st.just("compact")),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_lsm_matches_dict_model(operations):
+    store = LSMStore(LSMConfig(memtable_flush_bytes=256, max_sstables=3))
+    model: dict[bytes, bytes] = {}
+    for op in operations:
+        if op[0] == "put":
+            store.put(op[1], op[2])
+            model[op[1]] = op[2]
+        elif op[0] == "del":
+            store.delete(op[1])
+            model.pop(op[1], None)
+        elif op[0] == "flush":
+            store.flush()
+        else:
+            store.compact()
+    for key, expected in model.items():
+        assert store.get(key)[0] == expected
+    items, _ = store.scan(b"", b"\xff" * 8)
+    assert dict(items) == model
+    # scans come back sorted and unique
+    keys = [k for k, _ in items]
+    assert keys == sorted(set(keys))
+
+
+# -- filters ----------------------------------------------------------------------------
+
+@given(st.integers(), st.integers(), st.integers())
+def test_range_filter_agrees_with_python(lo, hi, x):
+    lo, hi = min(lo, hi), max(lo, hi)
+    f = PropertyFilter("k", RANGE, (lo, hi))
+    assert f.matches({"k": x}) == (lo <= x <= hi)
+
+
+@given(st.sets(st.integers(), max_size=10), st.integers())
+def test_in_filter_agrees_with_python(values, x):
+    f = PropertyFilter("k", IN, values)
+    assert f.matches({"k": x}) == (x in values)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 3)),
+                max_size=5),
+       st.dictionaries(st.sampled_from(["a", "b", "c"]), st.integers(0, 3), max_size=3))
+def test_filterset_is_conjunction(filter_specs, props):
+    filters = [PropertyFilter(k, EQ, v) for k, v in filter_specs]
+    fs = FilterSet.of(filters)
+    assert fs.matches(props) == all(f.matches(props) for f in filters)
+
+
+# -- anchors -------------------------------------------------------------------------------
+
+anchor_sets = st.lists(
+    st.frozensets(st.integers(0, 20), max_size=5), min_size=0, max_size=3
+).map(tuple)
+
+
+@given(anchor_sets, anchor_sets)
+def test_anchor_union_commutative_and_covering(a, b):
+    if len(a) != len(b) and a and b:
+        return  # unions only defined for same-shape anchors
+    u = anchors_union(a, b)
+    u2 = anchors_union(b, a)
+    assert u == u2
+    if len(a) == len(b):
+        assert anchors_covered(a, u)
+        assert anchors_covered(b, u)
+
+
+@given(anchor_sets)
+def test_anchor_covered_reflexive(a):
+    assert anchors_covered(a, a)
+
+
+@given(anchor_sets, anchor_sets, anchor_sets)
+def test_anchor_covered_transitive(a, b, c):
+    if anchors_covered(a, b) and anchors_covered(b, c):
+        assert anchors_covered(a, c)
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), anchor_sets), max_size=20))
+def test_merge_entry_idempotent_under_coverage(items):
+    entries = {}
+    for vid, anchors in items:
+        merge_entry(entries, vid, anchors)
+    # merging everything again must not change the result
+    snapshot = dict(entries)
+    for vid, anchors in items:
+        merge_entry(entries, vid, anchors)
+    assert entries == snapshot
+
+
+# -- traversal-affiliate cache -----------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 4), st.integers(0, 10)),
+                max_size=80),
+       st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_cache_size_invariants(inserts, capacity):
+    cache = TraversalAffiliateCache(capacity)
+    for travel, level, vid in inserts:
+        cache.insert(travel, level, vid, ())
+        assert len(cache) <= capacity
+    # every cached triple is findable; lookups never crash
+    for travel, level, vid in inserts:
+        cache.lookup(travel, level, vid)

@@ -1,0 +1,98 @@
+"""Tests for the buffered result pipeline (paper §IV-B future work)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, CoordinatorConfig
+from repro.engine import EngineKind, ReferenceEngine
+from repro.lang import EQ, GTravel
+from repro.net import NetworkModel
+from repro.workloads import paper_rmat1, pick_start_vertex, rmat_graph, rmat_kstep_query
+
+#: a deliberately slow client link (1 MB/s), so result-transfer time matters
+SLOW_CLIENT = NetworkModel(client_base_latency=500e-6, client_bandwidth=1e6)
+
+
+def build(graph, *, streaming: bool, chunk: int = 64, nservers: int = 4,
+          kind: EngineKind = EngineKind.GRAPHTREK, network: NetworkModel = SLOW_CLIENT):
+    return Cluster.build(
+        graph,
+        ClusterConfig(
+            nservers=nservers,
+            engine=kind,
+            network=network,
+            coordinator_config=CoordinatorConfig(
+                stream_results=streaming, stream_chunk_vertices=chunk
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def big_result_setup():
+    cfg = paper_rmat1(scale=9, edge_factor=8)
+    graph = rmat_graph(cfg)
+    src = pick_start_vertex(cfg)
+    plan = rmat_kstep_query(src, 6).compile()  # returns most of the graph
+    ref = ReferenceEngine(graph).run(plan)
+    return graph, plan, ref
+
+
+def test_streaming_returns_identical_results(big_result_setup):
+    graph, plan, ref = big_result_setup
+    out = build(graph, streaming=True).traverse(plan)
+    assert out.result.same_vertices(ref)
+    assert out.stats.result_chunks > 1
+
+
+def test_streaming_faster_for_large_results(big_result_setup):
+    """Chunks overlap with the traversal, so the tail transfer shrinks."""
+    graph, plan, ref = big_result_setup
+    bulk = build(graph, streaming=False).traverse(plan)
+    streamed = build(graph, streaming=True).traverse(plan)
+    assert len(ref.vertices) > 200  # premise: result set is large
+    assert streamed.stats.elapsed < bulk.stats.elapsed
+
+
+def test_streaming_with_sync_engine(big_result_setup):
+    graph, plan, ref = big_result_setup
+    out = build(graph, streaming=True, kind=EngineKind.SYNC).traverse(plan)
+    assert out.result.same_vertices(ref)
+    assert out.stats.result_chunks >= 1
+
+
+def test_streaming_tiny_result_single_chunk(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build(graph, streaming=True, nservers=3)
+    plan = GTravel.v(ids["users"][0]).e("run").compile()
+    out = cluster.traverse(plan)
+    assert out.result.same_vertices(ReferenceEngine(graph).run(plan))
+    # one chunk per contributing result report; a tiny result stays small
+    assert 1 <= out.stats.result_chunks <= 3
+
+
+def test_streaming_empty_result(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = build(graph, streaming=True, nservers=3)
+    plan = GTravel.v().va("type", EQ, "Nothing").compile()
+    out = cluster.traverse(plan)
+    assert out.result.vertices == frozenset()
+    assert out.stats.result_chunks == 0
+
+
+def test_streaming_with_intermediate_rtn(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build(graph, streaming=True, nservers=3)
+    plan = GTravel.v(*ids["jobs"]).rtn().e("hasExecutions").va("model", EQ, "A").compile()
+    out = cluster.traverse(plan)
+    assert out.result.same_vertices(ReferenceEngine(graph).run(plan))
+
+
+def test_chunk_count_scales_with_chunk_size(big_result_setup):
+    """A 1-vertex chunk forces per-vertex messages; large chunks coalesce
+    whatever is in the backlog when the streamer wakes."""
+    graph, plan, ref = big_result_setup
+    small = build(graph, streaming=True, chunk=1).traverse(plan)
+    large = build(graph, streaming=True, chunk=4096).traverse(plan)
+    assert small.stats.result_chunks >= len(ref.vertices)
+    assert small.stats.result_chunks > large.stats.result_chunks
+    assert small.result.same_vertices(large.result)

@@ -1,0 +1,147 @@
+"""Focused unit tests for sync-engine internals and coordinator behaviour."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind, ReferenceEngine
+from repro.lang import EQ, GTravel
+from repro.net.message import SyncBatch, SyncStartStep
+from tests.conftest import build_cluster
+
+
+def test_sync_barrier_rounds_equal_levels(metadata_graph):
+    graph, ids = metadata_graph
+    for steps, expected in ((0, 1), (1, 2), (3, 4)):
+        q = GTravel.v(ids["users"][0])
+        for _ in range(steps):
+            q = q.e("run")
+        cluster = build_cluster(graph, EngineKind.SYNC)
+        out = cluster.traverse(q.compile())
+        assert out.stats.barrier_rounds == expected, steps
+
+
+def test_sync_every_server_participates_each_step(metadata_graph):
+    """Barrier semantics: even servers with no frontier work report done."""
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC, nservers=6)
+    plan = GTravel.v(ids["users"][0]).e("run").compile()
+    out = cluster.traverse(plan)
+    # 2 levels x 6 servers = 12 step-done control messages minimum
+    assert out.stats.executions == 12
+
+
+def test_sync_engine_ignores_stale_attempt_messages(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    engine = cluster.servers[0].engine
+    # no travel registered: both messages must be dropped silently
+    engine.on_message(SyncBatch(999, level=0, entries={}, from_server=1, attempt=0))
+    engine.on_message(SyncStartStep(999, level=0, expect_batches=0, attempt=0))
+    cluster.runtime.sim.run()
+    assert cluster.runtime.sim.orphan_failures == []
+    assert len(engine._buffers) == 0
+
+
+def test_sync_forget_travel_clears_state(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    plan = GTravel.v(*ids["users"]).e("run").e("hasExecutions").compile()
+    cluster.traverse(plan)
+    for server in cluster.servers:
+        assert server.engine._buffers == {}
+        assert server.engine._expected == {}
+
+
+def test_async_forget_travel_clears_state(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    plan = GTravel.v(*ids["users"]).e("run").e("hasExecutions").compile()
+    cluster.traverse(plan)
+    for server in cluster.servers:
+        engine = server.engine
+        assert engine._pending == {}
+        assert engine._sent == {}
+        assert len(engine.seen) == 0
+
+
+def test_travel_ids_monotonic(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    plan = GTravel.v(ids["users"][0]).e("run").compile()
+    t1, e1 = cluster.submit(plan)
+    cluster.runtime.run_until_complete(e1)
+    t2, e2 = cluster.submit(plan)
+    cluster.runtime.run_until_complete(e2)
+    assert t2 == t1 + 1
+
+
+def test_concurrent_travels_have_independent_stats(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    small = GTravel.v(ids["users"][0]).e("run").compile()
+    large = GTravel.v(*ids["users"]).e("run").e("hasExecutions").e("read").compile()
+    out_small, out_large = cluster.traverse_many([small, large])
+    assert out_large.stats.real_io_visits > out_small.stats.real_io_visits
+    assert out_small.result.vertices != out_large.result.vertices
+
+
+def test_sync_progress_reports_barrier_level(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    plan = GTravel.v(*ids["users"]).e("run").e("hasExecutions").compile()
+    travel_id, event = cluster.submit(plan)
+    sim = cluster.runtime.sim
+    saw_progress = False
+    for _ in range(10_000):
+        if event.triggered:
+            break
+        sim.run(until=sim.peek())
+        progress = cluster.progress(travel_id)
+        if progress:
+            level, outstanding = next(iter(progress.items()))
+            assert 0 <= level <= plan.final_level
+            assert 0 <= outstanding <= cluster.config.nservers
+            saw_progress = True
+    cluster.runtime.run_until_complete(event)
+    assert saw_progress
+
+
+def test_outcome_carries_plan(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    plan = GTravel.v(ids["users"][0]).e("run").compile()
+    out = cluster.traverse(plan)
+    assert out.plan is plan
+
+
+def test_coordinator_on_unknown_travel_is_noop(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    from repro.net.message import ResultReport
+
+    cluster.coordinator.on_message(ResultReport(4242, level=1, vertices=frozenset({1})))
+    cluster.runtime.sim.run()  # must not schedule anything harmful
+
+
+def test_engine_options_respected_by_cluster(metadata_graph):
+    from repro.engine import sync_options
+
+    graph, ids = metadata_graph
+    opts = sync_options(workers=1, batch_seek_factor=1.0)
+    cluster = Cluster.build(graph, ClusterConfig(nservers=2, engine=opts))
+    out = cluster.traverse(GTravel.v(ids["users"][0]).e("run"))
+    expected = ReferenceEngine(graph).run(GTravel.v(ids["users"][0]).e("run").compile())
+    assert out.result.same_vertices(expected)
+    assert out.stats.engine is EngineKind.SYNC
+
+
+def test_cold_vs_warm_second_traversal_cheaper(metadata_graph):
+    """cold=False keeps the block cache warm across traversals."""
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.SYNC)
+    plan = GTravel.v(*ids["users"]).e("run").e("hasExecutions").compile()
+    first = cluster.traverse(plan, cold=True)
+    warm = cluster.traverse(plan, cold=False)
+    cold_again = cluster.traverse(plan, cold=True)
+    assert warm.stats.elapsed < first.stats.elapsed
+    assert cold_again.stats.elapsed > warm.stats.elapsed

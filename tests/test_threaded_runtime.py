@@ -1,0 +1,90 @@
+"""Cross-runtime validation: the engines on real OS threads.
+
+The threaded runtime runs the identical engine generators on worker threads
+with per-server locks. Timings are nondeterministic wall clock, so these
+tests assert *result-set parity* with the oracle and with the simulated
+runtime — proving the engines do not depend on virtual-time semantics.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, CoordinatorConfig
+from repro.engine import EngineKind, ReferenceEngine
+from repro.lang import EQ, GTravel
+from repro.workloads import paper_rmat1, pick_start_vertex, rmat_graph, rmat_kstep_query
+
+#: generous virtual-time watchdog so slow CI machines never trigger restarts
+RELAXED = CoordinatorConfig(exec_timeout=1e6, watch_interval=50.0)
+
+
+def threaded_cluster(graph, kind, nservers=3):
+    return Cluster.build(
+        graph,
+        ClusterConfig(
+            nservers=nservers,
+            engine=kind,
+            runtime="threaded",
+            coordinator_config=RELAXED,
+        ),
+    )
+
+
+@pytest.mark.parametrize("kind", [EngineKind.SYNC, EngineKind.ASYNC, EngineKind.GRAPHTREK])
+def test_threaded_matches_oracle_metadata(metadata_graph, kind):
+    graph, ids = metadata_graph
+    plan = (
+        GTravel.v(ids["users"][0]).e("run").e("hasExecutions").e("read").compile()
+    )
+    ref = ReferenceEngine(graph).run(plan)
+    cluster = threaded_cluster(graph, kind)
+    try:
+        outcome = cluster.traverse(plan)
+        assert outcome.result.same_vertices(ref)
+        assert outcome.stats.elapsed > 0
+    finally:
+        cluster.shutdown()
+
+
+def test_threaded_matches_simulated_on_rmat():
+    cfg = paper_rmat1(scale=7, edge_factor=8)
+    graph = rmat_graph(cfg)
+    src = pick_start_vertex(cfg)
+    plan = rmat_kstep_query(src, 4).compile()
+    sim_cluster = Cluster.build(graph, ClusterConfig(nservers=3, engine=EngineKind.GRAPHTREK))
+    sim_result = sim_cluster.traverse(plan).result
+    thr_cluster = threaded_cluster(graph, EngineKind.GRAPHTREK)
+    try:
+        thr_result = thr_cluster.traverse(plan).result
+        assert thr_result.same_vertices(sim_result)
+    finally:
+        thr_cluster.shutdown()
+
+
+def test_threaded_rtn_semantics(metadata_graph):
+    graph, ids = metadata_graph
+    plan = GTravel.v(*ids["jobs"]).rtn().e("hasExecutions").va("model", EQ, "A").compile()
+    ref = ReferenceEngine(graph).run(plan)
+    cluster = threaded_cluster(graph, EngineKind.GRAPHTREK)
+    try:
+        assert cluster.traverse(plan).result.same_vertices(ref)
+    finally:
+        cluster.shutdown()
+
+
+def test_threaded_sequential_traversals(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = threaded_cluster(graph, EngineKind.GRAPHTREK)
+    try:
+        ref = ReferenceEngine(graph)
+        for user in ids["users"]:
+            plan = GTravel.v(user).e("run").compile()
+            assert cluster.traverse(plan).result.same_vertices(ref.run(plan))
+    finally:
+        cluster.shutdown()
+
+
+def test_threaded_shutdown_idempotent(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = threaded_cluster(graph, EngineKind.SYNC)
+    cluster.shutdown()
+    cluster.shutdown()  # second call must not raise

@@ -1,0 +1,163 @@
+"""Unit tests for the shared per-vertex visit/expansion layer."""
+
+import pytest
+
+from repro.engine.frontier import EMPTY_ANCHORS
+from repro.engine.visit import (
+    ExpandSinks,
+    VisitData,
+    expand_vertex,
+    filters_at,
+    labels_needed,
+    needs_props,
+    read_vertex,
+)
+from repro.graph import GraphBuilder
+from repro.lang import EQ, FilterSet, GTravel
+from repro.lang.filters import PropertyFilter
+from repro.storage import GraphStore, LSMConfig
+from repro.storage.costmodel import IOCost
+
+
+@pytest.fixture()
+def plan():
+    return (
+        GTravel.v(0)
+        .e("x")
+        .va("color", EQ, "red")
+        .e("y")
+        .compile()
+    )
+
+
+def owner(vid):
+    return vid % 2
+
+
+def test_labels_needed_by_level(plan):
+    assert labels_needed(plan, [0]) == {"x"}
+    assert labels_needed(plan, [1]) == {"y"}
+    assert labels_needed(plan, [2]) == set()  # final level scans nothing
+    assert labels_needed(plan, [0, 1]) == {"x", "y"}
+
+
+def test_filters_at_levels(plan):
+    assert not filters_at(plan, 0, None)  # no source filters
+    assert filters_at(plan, 1, None).filters[0].key == "color"
+    override = FilterSet((PropertyFilter("z", EQ, 1),))
+    assert filters_at(plan, 0, override) is override
+
+
+def test_needs_props(plan):
+    assert not needs_props(plan, [0], None)
+    assert needs_props(plan, [1], None)
+    assert needs_props(plan, [0, 1], None)
+
+
+def test_read_vertex_single_label_scan():
+    b = GraphBuilder()
+    v = b.vertex("T", color="red")
+    w = b.vertex("T")
+    b.edge(v, w, "x", n=1)
+    b.edge(v, w, "y", n=2)
+    store = GraphStore(LSMConfig())
+    store.load_partition(b.build(), [v, w])
+    data = read_vertex(store, v, {"x"}, want_props=False)
+    assert data.props is None
+    assert [dst for dst, _ in data.edges["x"]] == [w]
+    assert "y" not in data.edges
+    assert data.cost.seeks >= 1
+
+
+def test_read_vertex_multi_label_single_scan():
+    b = GraphBuilder()
+    v = b.vertex("T")
+    w = b.vertex("T")
+    b.edge(v, w, "x")
+    b.edge(v, w, "y")
+    b.edge(v, w, "z")
+    store = GraphStore(LSMConfig())
+    store.load_partition(b.build(), [v, w])
+    single = read_vertex(store, v, {"x"}, want_props=False).cost
+    combined = read_vertex(store, v, {"x", "y"}, want_props=False).cost
+    # one scan over the whole edge block serves both labels: one seek
+    assert combined.seeks == single.seeks
+    data = read_vertex(store, v, {"x", "y"}, want_props=False)
+    assert set(data.edges) == {"x", "y"}  # z filtered out, x/y present
+
+
+def test_read_vertex_with_props():
+    b = GraphBuilder()
+    v = b.vertex("T", color="red")
+    store = GraphStore(LSMConfig())
+    store.load_partition(b.build(), [v])
+    data = read_vertex(store, v, set(), want_props=True)
+    assert data.props["color"] == "red"
+
+
+def test_expand_final_level_collects_results(plan):
+    sinks = ExpandSinks()
+    data = VisitData(props={"color": "red"}, edges={}, cost=IOCost())
+    outcome = expand_vertex(
+        plan, 2, 7, EMPTY_ANCHORS, data, owner, sinks, (), "T"
+    )
+    assert outcome == "final"
+    assert sinks.final_results == {7}
+
+
+def test_expand_vertex_filter_blocks(plan):
+    sinks = ExpandSinks()
+    data = VisitData(props={"color": "blue"}, edges={"y": [(9, {})]}, cost=IOCost())
+    outcome = expand_vertex(plan, 1, 5, EMPTY_ANCHORS, data, owner, sinks, (), "T")
+    assert outcome == "filtered"
+    assert not sinks.out
+
+
+def test_expand_routes_by_owner(plan):
+    sinks = ExpandSinks()
+    data = VisitData(props=None, edges={"x": [(2, {}), (3, {}), (4, {})]}, cost=IOCost())
+    outcome = expand_vertex(plan, 0, 0, EMPTY_ANCHORS, data, owner, sinks, (), "T")
+    assert outcome == "expanded"
+    assert set(sinks.out) == {(1, 0), (1, 1)}
+    assert set(sinks.out[(1, 0)]) == {2, 4}
+    assert set(sinks.out[(1, 1)]) == {3}
+
+
+def test_expand_edge_filters_apply():
+    plan = GTravel.v(0).e("x").ea("n", EQ, 1).compile()
+    sinks = ExpandSinks()
+    data = VisitData(
+        props=None, edges={"x": [(2, {"n": 1}), (3, {"n": 2})]}, cost=IOCost()
+    )
+    expand_vertex(plan, 0, 0, EMPTY_ANCHORS, data, owner, sinks, (), "T")
+    assert list(sinks.out[(1, 0)]) == [2]
+    assert (1, 1) not in sinks.out
+
+
+def test_expand_rtn_level_extends_anchors():
+    plan = GTravel.v(0).rtn().e("x").compile()
+    sinks = ExpandSinks()
+    data = VisitData(props=None, edges={"x": [(3, {})]}, cost=IOCost())
+    expand_vertex(plan, 0, 0, EMPTY_ANCHORS, data, owner, sinks, (0,), "T")
+    assert sinks.out[(1, 1)][3] == (frozenset({0}),)
+
+
+def test_expand_final_reports_anchors_to_owners():
+    plan = GTravel.v(0).rtn().e("x").compile()
+    sinks = ExpandSinks()
+    anchors = (frozenset({0, 1}),)
+    data = VisitData(props=None, edges={}, cost=IOCost())
+    expand_vertex(plan, 1, 9, anchors, data, owner, sinks, (0,), "T")
+    assert sinks.anchors_by_owner[(0, 0)] == {0}
+    assert sinks.anchors_by_owner[(0, 1)] == {1}
+    # rtn() marks only level 0, so the final level itself is not returned
+    assert sinks.final_results == set()
+
+
+def test_expand_type_filter_uses_vertex_type():
+    plan = GTravel.v(0).e("x").va("type", EQ, "File").compile()
+    sinks = ExpandSinks()
+    data = VisitData(props={}, edges={}, cost=IOCost())
+    assert expand_vertex(plan, 1, 5, EMPTY_ANCHORS, data, owner, sinks, (), "File") == "final"
+    sinks2 = ExpandSinks()
+    assert expand_vertex(plan, 1, 5, EMPTY_ANCHORS, data, owner, sinks2, (), "Job") == "filtered"
