@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import BenchEnvironment, save_results
+from repro.bench.harness import BenchEnvironment, metrics_payload, save_results
+from repro.obs.export import validate_snapshot
 
 
 @pytest.fixture(scope="session")
@@ -37,6 +38,19 @@ def _report_experiment(result, benchmark=None) -> None:
         status = "PASS" if check.passed else "FAIL"
         print(f"  [{status}] {check.name}: {check.detail}")
     save_results(result.experiment, result.payload())
+    snapshots = metrics_payload(result.cells)
+    if snapshots:
+        save_results(result.experiment + "_metrics", snapshots)
+        # NaN/inf anywhere in a snapshot means broken instrumentation;
+        # empty histograms are tolerated here (tiny cells may skip paths)
+        # and caught strictly by the tier-1 smoke test instead.
+        for cell_name, snap in snapshots.items():
+            nan_problems = [
+                p for p in validate_snapshot(snap) if "is empty" not in p
+            ]
+            assert not nan_problems, (
+                f"metrics snapshot {cell_name}: " + "; ".join(nan_problems)
+            )
     if benchmark is not None:
         for cell in result.cells:
             benchmark.extra_info.setdefault("cells", []).append(

@@ -15,7 +15,7 @@ from __future__ import annotations
 import sys
 
 from repro.bench import experiments as exp
-from repro.bench.harness import BenchEnvironment, save_results
+from repro.bench.harness import BenchEnvironment, metrics_payload, save_results
 from repro.bench.report import banner
 
 EXPERIMENTS = {
@@ -54,6 +54,10 @@ def main(argv: list[str]) -> int:
             any_failed |= not check.passed
         path = save_results(result.experiment, result.payload())
         print(f"  results -> {path}")
+        snapshots = metrics_payload(result.cells)
+        if snapshots:
+            mpath = save_results(result.experiment + "_metrics", snapshots)
+            print(f"  metrics -> {mpath}")
     return 1 if any_failed else 0
 
 

@@ -462,6 +462,7 @@ def exp_concurrent_traversals(
         rows[f"{engine.value} mean slowdown"] = f"{np.mean(slowdowns[engine.value]):.2f}x"
         cell = harness.Cell.from_outcome(engine, nservers, outcomes[-1])
         cell.elapsed = max(concurrent)
+        cell.metrics = cluster.metrics_snapshot()
         cells.append(cell)
     checks = [
         ShapeCheck(
@@ -513,6 +514,7 @@ def exp_ablation_layout(nservers: int = 16) -> ExperimentResult:
         outcome = cluster.traverse(plan)
         cell = harness.Cell.from_outcome(EngineKind.GRAPHTREK, nservers, outcome)
         cell.engine = f"GraphTrek/{layout}"
+        cell.metrics = cluster.metrics_snapshot()
         cells.append(cell)
         elapsed[layout] = outcome.stats.elapsed
         rows[f"{layout} layout"] = report.fmt_time(outcome.stats.elapsed)

@@ -115,6 +115,10 @@ class Cell:
     barrier_rounds: int
     executions: int
     per_server: dict = field(default_factory=dict)
+    #: full observability snapshot of the cluster that produced this cell
+    #: (saved separately as <experiment>_metrics.json, excluded from the
+    #: paper-table payload)
+    metrics: dict = field(default_factory=dict)
 
     @classmethod
     def from_outcome(cls, engine, nservers: int, outcome: TraversalOutcome):
@@ -150,7 +154,9 @@ def run_cell(
         config.interference = interference_factory()
     cluster = Cluster.build(graph, config)
     outcome = cluster.traverse(plan)
-    return Cell.from_outcome(engine, nservers, outcome)
+    cell = Cell.from_outcome(engine, nservers, outcome)
+    cell.metrics = cluster.metrics_snapshot()
+    return cell
 
 
 def run_engine_comparison(
@@ -193,6 +199,15 @@ def save_results(name: str, payload) -> Path:
 
 def cells_payload(cells: Sequence[Cell]) -> list[dict]:
     return [
-        {k: v for k, v in cell.__dict__.items() if k != "per_server"}
+        {k: v for k, v in cell.__dict__.items() if k not in ("per_server", "metrics")}
         for cell in cells
     ]
+
+
+def metrics_payload(cells: Sequence[Cell]) -> dict[str, dict]:
+    """Per-cell observability snapshots keyed ``<engine>x<nservers>``."""
+    return {
+        f"{cell.engine}x{cell.nservers}": cell.metrics
+        for cell in cells
+        if cell.metrics
+    }

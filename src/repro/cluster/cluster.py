@@ -152,6 +152,28 @@ class Cluster:
             on_complete=_forget,
         )
         runtime.register_coordinator(coordinator.on_message)
+
+        # Observability wiring: spans timestamp off the runtime clock, and a
+        # pull collector turns the push-free layers (storage, network) into
+        # gauges at snapshot time. Collectors must SET, never increment —
+        # snapshot() may run any number of times.
+        obs = board.obs
+        if hasattr(runtime, "sim"):
+            obs.bind_clock(lambda: runtime.sim.now)
+        else:
+            ctx0 = runtime.context(0)
+            obs.bind_clock(ctx0.now)
+
+        def _collect_storage(metrics) -> None:
+            for server in servers:
+                for name, value in server.storage_metrics().items():
+                    metrics.set_gauge(f"storage.{name}", value, server=server.server_id)
+            metrics.set_gauge("runtime.messages_sent", runtime.messages_sent)
+            metrics.set_gauge("runtime.bytes_sent", runtime.bytes_sent)
+
+        obs.metrics.add_collector(_collect_storage)
+        if config.interference is not None and hasattr(config.interference, "bind_metrics"):
+            config.interference.bind_metrics(obs.metrics)
         return cls(config, runtime, partitioner, servers, coordinator, registry, board)
 
     # -- client API (paper §IV-A: submit the whole GTravel instance) ------------
@@ -199,6 +221,27 @@ class Cluster:
         """Outstanding work per step for an in-flight traversal (§IV-C)."""
         with self.runtime.exclusive(self.config.coordinator_server):
             return self.coordinator.progress(travel_id)
+
+    # -- observability -------------------------------------------------------------
+
+    @property
+    def obs(self):
+        """The cluster-wide :class:`~repro.obs.Observability` instance."""
+        return self.board.obs
+
+    def metrics_snapshot(self) -> dict:
+        """Deterministic metrics snapshot (counters, gauges, histograms)."""
+        return self.board.obs.metrics.snapshot()
+
+    def span_timeline(self) -> list[dict]:
+        """All recorded traversal spans, ordered by start time."""
+        return self.board.obs.spans.timeline()
+
+    def export_observability(self, path):
+        """Write the canonical metrics+spans payload to ``path``; returns it."""
+        from repro.obs.export import write_observability
+
+        return write_observability(path, self.board.obs.metrics, self.board.obs.spans)
 
     # -- maintenance --------------------------------------------------------------
 

@@ -113,6 +113,8 @@ class Coordinator:
         self.registry = registry
         self.owner_fn = owner_fn
         self.board = board
+        self.metrics = board.obs.metrics
+        self.spans = board.obs.spans
         self.engine_kind = engine_kind
         self.config = config or CoordinatorConfig()
         self.on_complete = on_complete
@@ -141,6 +143,10 @@ class Coordinator:
             tracker=tracker,
         )
         self._active[travel_id] = at
+        self.metrics.count("coord.submitted")
+        self.spans.travel_span(
+            travel_id, engine=self.engine_kind.value, steps=plan.final_level
+        )
         self._dispatch(at)
         self.ctx.spawn(self._watchdog(at), name=f"watchdog-{travel_id}")
         return travel_id, event
@@ -220,6 +226,7 @@ class Coordinator:
                 ),
             )
         self.board.stats(at.travel_id).barrier_rounds += 1
+        self.metrics.count("coord.barrier_rounds")
 
     # -- message handling --------------------------------------------------------
 
@@ -232,9 +239,17 @@ class Coordinator:
             return  # stale report from a restarted attempt
         if isinstance(msg, ExecStatus):
             tracker: ExecTracker = at.tracker  # type: ignore[assignment]
-            tracker.on_status(msg, self.ctx.now())
+            fresh = tracker.on_status(msg, self.ctx.now())
+            self.metrics.count("coord.exec_status", server=msg.server)
+            if fresh:
+                # Fresh terminations only: duplicate reports from replayed
+                # executions must not inflate the executions statistic.
+                self.board.execution(msg.travel_id)
+            else:
+                self.metrics.count("coord.duplicate_status")
             self._check_complete(at)
         elif isinstance(msg, ResultReport):
+            self.metrics.count("coord.result_reports")
             at.returned.setdefault(msg.level, set()).update(msg.vertices)
             if self.config.stream_results:
                 self._stream_enqueue(at, msg.level, msg.vertices)
@@ -246,6 +261,7 @@ class Coordinator:
                 at.tracker.on_result(self.ctx.now())  # type: ignore[union-attr]
             self._check_complete(at)
         elif isinstance(msg, SyncStepDone):
+            self.metrics.count("coord.step_done", server=msg.server)
             self._on_step_done(at, msg)
         else:  # pragma: no cover - protocol misuse guard
             raise TypeError(f"coordinator got unexpected {type(msg).__name__}")
@@ -273,6 +289,7 @@ class Coordinator:
             name=f"barrier-{at.travel_id}-{next_level}",
         )
         self.board.stats(at.travel_id).barrier_rounds += 1
+        self.metrics.count("coord.barrier_rounds")
 
     def _release_step(self, at: ActiveTravel, level: int, expected) -> None:
         """Release the next barrier after the controller's handling time:
@@ -354,6 +371,14 @@ class Coordinator:
                 self.ctx.now() - at.submit_time
                 + submit_hop + network.client_latency(64 + 8 * total_results)
             )
+        self.metrics.count("coord.completed")
+        self.metrics.observe(
+            "travel.elapsed_seconds", stats.elapsed, engine=self.engine_kind.value
+        )
+        self.metrics.observe("travel.result_vertices", total_results)
+        self.spans.finish_travel(
+            at.travel_id, status="ok", results=total_results, restarts=stats.restarts
+        )
         result = TraversalResult(
             travel_id=at.travel_id,
             returned={lvl: frozenset(v) for lvl, v in at.returned.items()},
@@ -377,6 +402,7 @@ class Coordinator:
             idle = self.ctx.now() - at.tracker.last_activity
             if idle <= self.config.exec_timeout:
                 continue
+            self.metrics.count("coord.timeouts")
             if (
                 self.config.fine_grained_recovery
                 and not self.is_sync
@@ -388,6 +414,8 @@ class Coordinator:
                 at.done = True
                 del self._active[at.travel_id]
                 self.registry.unregister(at.travel_id)
+                self.metrics.count("coord.failed")
+                self.spans.finish_travel(at.travel_id, status="failed", restarts=restarts)
                 at.client_event.fail(
                     TraversalFailed(
                         at.travel_id,
@@ -410,9 +438,11 @@ class Coordinator:
             # cannot reconstruct those registrations; restart instead.
             return False
         at.replay_rounds += 1
+        self.metrics.count("coord.replay_rounds")
         stats = self.board.stats(at.travel_id)
         for eid, (_target, _level, origin) in pending:
             stats.replays += 1
+            self.metrics.count("coord.replays")
             if origin == -1:
                 dst, request = at.initial_sent[eid]
                 self._send(at.travel_id, dst, request)
@@ -428,6 +458,8 @@ class Coordinator:
     def _restart(self, at: ActiveTravel) -> None:
         """Restart the traversal from scratch under a new attempt number."""
         attempt = self.registry.bump_attempt(at.travel_id)
+        self.metrics.count("coord.restarts")
+        self.spans.annotate(self.spans.travel_span(at.travel_id), restarts=attempt)
         self.board.reset(at.travel_id)
         self.board.stats(at.travel_id).restarts = attempt
         at.returned.clear()

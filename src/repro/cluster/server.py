@@ -30,3 +30,7 @@ class BackendServer:
     @property
     def queue_length(self) -> int:
         return self.engine.queue_length if hasattr(self.engine, "queue_length") else 0
+
+    def storage_metrics(self) -> dict[str, int]:
+        """This server's storage counters (LSM / block cache / bloom)."""
+        return self.store.metrics_snapshot()

@@ -42,6 +42,11 @@ class ExternalInterference:
             entry[0] = spec.delay
             entry[1] += spec.count
         self.injected = 0
+        self._metrics = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Report each injected delay to the cluster's metrics registry."""
+        self._metrics = metrics
 
     def delay(self, server: ServerId, level: Optional[int]) -> float:
         if level is None:
@@ -51,6 +56,10 @@ class ExternalInterference:
             return 0.0
         entry[1] -= 1
         self.injected += 1
+        if self._metrics is not None:
+            self._metrics.count(
+                "straggler.injected_delays", server=server, level=level
+            )
         return entry[0]
 
     def remaining(self) -> int:

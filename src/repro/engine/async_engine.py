@@ -83,6 +83,7 @@ class PendingWork:
     exec_id: ExecId
     all_sources: bool = False
     absorbed: int = 0
+    enqueued_at: float = 0.0
 
     @property
     def travel_id(self) -> TravelId:
@@ -111,6 +112,8 @@ class AsyncServerEngine:
         self.owner_fn = owner_fn
         self.opts = opts
         self.board = board
+        self.metrics = board.obs.metrics
+        self.spans = board.obs.spans
         self.queue = ctx.queue(priority=opts.priority_schedule, name="requests")
         self._pending: dict[tuple[TravelKey, int], PendingWork] = {}
         capacity = opts.cache_capacity if opts.cache_enabled else _UNBOUNDED
@@ -151,10 +154,13 @@ class AsyncServerEngine:
         self._send(msg.travel_id, dst, original)
 
     def _on_request(self, msg: TraverseRequest) -> None:
+        server = self.ctx.server_id
+        self.metrics.count("engine.requests", server=server)
         entry = self.registry.get(msg.travel_id)
         if entry is None or entry.attempt != msg.attempt:
             # Stale attempt: terminate the execution so old accounting
             # quiesces; the coordinator ignores reports from old attempts.
+            self.metrics.count("engine.stale_requests", server=server)
             self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
             return
         tkey = (msg.travel_id, msg.attempt)
@@ -166,6 +172,7 @@ class AsyncServerEngine:
             merge_entries(work.entries, msg.entries)
             work.all_sources = work.all_sources or msg.all_sources
             work.absorbed += 1
+            self.metrics.count("engine.coalesced", server=server)
             self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
             return
         work = PendingWork(
@@ -174,13 +181,16 @@ class AsyncServerEngine:
             entries=dict(msg.entries),
             exec_id=msg.exec_id,
             all_sources=msg.all_sources,
+            enqueued_at=self.ctx.now(),
         )
         self._pending[key] = work
+        self.metrics.count("engine.units_enqueued", server=server)
         priority = msg.level if self.opts.priority_schedule else 0
         self.ctx.queue_put(self.queue, (priority, next(self._seq), key))
 
     def _on_success(self, msg: SuccessReport) -> None:
         """An rtn server learning which of its anchors completed a path."""
+        self.metrics.count("engine.rtn_confirms", server=self.ctx.server_id)
         entry = self.registry.get(msg.travel_id)
         if entry is None or entry.attempt != msg.attempt:
             self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, None)
@@ -217,6 +227,7 @@ class AsyncServerEngine:
 
     def _process(self, work: PendingWork):
         travel_id, attempt = work.travel_key
+        server = self.ctx.server_id
         entry = self.registry.get(travel_id)
         if entry is None or entry.attempt != attempt:
             self._report_status(travel_id, attempt, work.exec_id, (), 0, work.level)
@@ -232,6 +243,19 @@ class AsyncServerEngine:
                 (vid, EMPTY_ANCHORS) for vid in self._source_candidates(entry)
             )
         items.sort(key=lambda iv: iv[0])  # key-ordered batch (elevator pass)
+        self.metrics.observe(
+            "engine.queue_wait_seconds", self.ctx.now() - work.enqueued_at, server=server
+        )
+        self.metrics.observe("engine.unit_vertices", len(items), server=server)
+        unit_span = self.spans.begin(
+            "unit",
+            f"s{server}:L{level}",
+            parent=self.spans.level_span(travel_id, level),
+            server=server,
+            level=level,
+            exec_id=work.exec_id,
+            absorbed=work.absorbed,
+        )
         yield self.ctx.cpu(
             self.opts.cpu_per_request
             + self.opts.cpu_async_overhead
@@ -243,12 +267,13 @@ class AsyncServerEngine:
         for vid, anchors in items:
             did_io = yield from self._visit(
                 work, plan, level, vid, anchors, sinks, rtn_levels,
-                level0_override, first_in_batch,
+                level0_override, first_in_batch, unit_span,
             )
             if did_io:
                 first_in_batch = False
 
         created, results_sent = self._flush(work, plan, sinks)
+        self.spans.end(unit_span, vertices=len(items), created=len(created))
         self._report_status(
             travel_id, attempt, work.exec_id, tuple(created), results_sent, level
         )
@@ -281,6 +306,7 @@ class AsyncServerEngine:
         rtn_levels: tuple[int, ...],
         level0_override: Optional[FilterSet],
         first_in_batch: bool,
+        unit_span: int = 0,
     ):
         """Serve one vertex request; returns True if it reached the disk."""
         travel_id = work.travel_id
@@ -293,11 +319,14 @@ class AsyncServerEngine:
             if stored is not None and anchors_covered(anchors, stored):
                 # Traversal-affiliate cache hit: safely abandon the request.
                 self.board.visit(travel_id, server, "redundant")
+                self.metrics.count("cache.affiliate_hits", server=server)
                 return False
 
         todo: list[tuple[int, Anchors]] = [(level, anchors)]
         if self.opts.merge_enabled:
             todo.extend(self._extract_merged(tkey, vid, level))
+            if len(todo) > 1:
+                self.metrics.count("engine.merged_items", len(todo) - 1, server=server)
 
         levels = [lvl for lvl, _ in todo]
         want_labels = labels_needed(plan, levels)
@@ -314,10 +343,19 @@ class AsyncServerEngine:
             # Execution merging shares the seek/scan, but each merged item
             # still decodes the block it needs (one re-read from cache).
             cost.cache_hits += len(todo) - 1
+            disk_span = self.spans.begin(
+                "disk", f"v{vid}", parent=unit_span, server=server, level=level
+            )
+            io_start = self.ctx.now()
             yield self.ctx.disk(cost, level=level, accesses=1)
+            self.metrics.observe(
+                "disk.access_seconds", self.ctx.now() - io_start, server=server
+            )
+            self.spans.end(disk_span)
 
         self.board.visit(travel_id, server, "real")
         self.board.visit(travel_id, server, "combined", len(todo) - 1)
+        self.metrics.count("engine.real_visits", server=server)
 
         vertex_type = self.store.namespace_of(vid)
         if data is None:
@@ -383,6 +421,11 @@ class AsyncServerEngine:
             )
             sent[eid] = (owner, success)
             self._send(travel_id, owner, success)
+            self.metrics.count("engine.rtn_redirects", server=self.ctx.server_id)
+        if sinks.out:
+            self.metrics.count(
+                "engine.dispatches", len(sinks.out), server=self.ctx.server_id
+            )
         results_sent = 0
         if sinks.final_results and plan.final_level in plan.return_levels:
             self._send_coord(
@@ -416,7 +459,10 @@ class AsyncServerEngine:
         results_sent: int,
         level: Optional[int],
     ) -> None:
-        self.board.execution(travel_id)
+        # The per-traversal ``executions`` statistic is counted by the
+        # coordinator on *fresh* terminations only — counting here would
+        # double-count replayed executions and stale-attempt reports.
+        self.metrics.count("engine.status_reports", server=self.ctx.server_id)
         self._send_coord(
             travel_id,
             ExecStatus(

@@ -4,19 +4,27 @@ Engines record visit outcomes and message counts here, keyed by travel id.
 This is out-of-band instrumentation — the paper likewise "placed instruments
 inside the GraphTrek engine to collect the statistics during the execution"
 (§VII-A) — so recording costs no simulated time.
+
+The board also carries the cluster's :class:`~repro.obs.Observability`
+(metrics registry + span tracer), so every component that already holds the
+board can record structured metrics without new constructor plumbing.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.engine.base import EngineKind, TraversalStats
 from repro.ids import ServerId, TravelId
+from repro.obs import Observability
 
 
 class StatsBoard:
     """Per-traversal :class:`TraversalStats`, shared by all servers."""
 
-    def __init__(self, engine_kind: EngineKind):
+    def __init__(self, engine_kind: EngineKind, obs: Optional[Observability] = None):
         self.engine_kind = engine_kind
+        self.obs = obs if obs is not None else Observability()
         self._stats: dict[TravelId, TraversalStats] = {}
 
     def stats(self, travel_id: TravelId) -> TraversalStats:

@@ -72,6 +72,8 @@ class SyncServerEngine:
         self.owner_fn = owner_fn
         self.opts = opts
         self.board = board
+        self.metrics = board.obs.metrics
+        self.spans = board.obs.spans
         self.queue = ctx.queue(priority=False, name="sync-steps")
         self._buffers: dict[tuple[TravelKey, int], Entries] = {}
         self._batch_counts: dict[tuple[TravelKey, int], int] = {}
@@ -95,6 +97,7 @@ class SyncServerEngine:
         return entry is None or entry.attempt != attempt
 
     def _on_batch(self, msg: SyncBatch) -> None:
+        self.metrics.count("engine.sync_batches", server=self.ctx.server_id)
         if self._stale(msg.travel_id, msg.attempt):
             return
         key = ((msg.travel_id, msg.attempt), msg.level)
@@ -144,6 +147,15 @@ class SyncServerEngine:
                 level0_override = entry.source_info.reduced_filters
 
         items = sorted(entries.items(), key=lambda iv: iv[0])
+        server = self.ctx.server_id
+        self.metrics.observe("engine.unit_vertices", len(items), server=server)
+        unit_span = self.spans.begin(
+            "unit",
+            f"s{server}:L{level}",
+            parent=self.spans.level_span(travel_id, level),
+            server=server,
+            level=level,
+        )
         yield self.ctx.cpu(
             self.opts.cpu_per_request + self.opts.cpu_per_vertex * len(items)
         )
@@ -160,11 +172,20 @@ class SyncServerEngine:
                 cost = data.cost
                 if not first_in_batch and cost.seeks:
                     cost.seeks *= self.opts.batch_seek_factor
+                disk_span = self.spans.begin(
+                    "disk", f"v{vid}", parent=unit_span, server=server, level=level
+                )
+                io_start = self.ctx.now()
                 yield self.ctx.disk(cost, level=level, accesses=1)
+                self.metrics.observe(
+                    "disk.access_seconds", self.ctx.now() - io_start, server=server
+                )
+                self.spans.end(disk_span)
                 first_in_batch = False
             else:
                 data = VisitData(props=None, edges={}, cost=IOCost())
             self.board.visit(travel_id, self.ctx.server_id, "real")
+            self.metrics.count("engine.real_visits", server=server)
             expand_vertex(
                 plan, level, vid, anchors, data, self.owner_fn, sinks, rtn_levels,
                 self.store.namespace_of(vid),
@@ -186,7 +207,11 @@ class SyncServerEngine:
                 ),
             )
             sent_counts[target] = sent_counts.get(target, 0) + 1
+        if sent_counts:
+            self.metrics.count("engine.dispatches", len(sent_counts), server=server)
         self.board.execution(travel_id)
+        self.spans.end(unit_span, vertices=len(items))
+        self.metrics.count("engine.status_reports", server=server)
         self._send_coord(
             travel_id,
             SyncStepDone(

@@ -66,12 +66,18 @@ class ExecTracker:
             return
         self.pending[eid] = (server, level, origin)
 
-    def on_status(self, msg: ExecStatus, now: float) -> None:
+    def on_status(self, msg: ExecStatus, now: float) -> bool:
+        """Apply one status report; True when it terminated a new execution.
+
+        Duplicate reports (from replayed executions) and stale attempts
+        return False so callers do not double-count work — the per-traversal
+        ``executions`` statistic is incremented only on fresh terminations.
+        """
         if msg.attempt != self.attempt:
-            return  # stale report from a failed attempt
+            return False  # stale report from a failed attempt
         self.last_activity = now
-        if msg.exec_id in self.terminated_ids:
-            return  # duplicate report from a replayed execution
+        if msg.exec_id in self.terminated_ids or msg.exec_id in self.early_terminated:
+            return False  # duplicate report from a replayed execution
         for eid, server, level in msg.created:
             self._register(eid, server, level, origin=msg.server)
         self.results_expected += msg.results_sent
@@ -80,7 +86,10 @@ class ExecTracker:
             self.terminated_total += 1
             self.terminated_ids.add(msg.exec_id)
         else:
+            # Termination outracing the parent's creation report; _register
+            # reconciles when the creation arrives.
             self.early_terminated.add(msg.exec_id)
+        return True
 
     def on_result(self, now: float) -> None:
         self.results_received += 1

@@ -1,0 +1,56 @@
+"""Deterministic observability: metrics registry + traversal span tracer.
+
+:class:`Observability` bundles the two instruments every layer records into.
+It travels on the :class:`~repro.engine.statistics.StatsBoard` so engines,
+the coordinator, storage collectors, and the interference injector all share
+one registry and one tracer without new plumbing. ``Cluster.build`` binds the
+runtime clock; on the simulated runtime that makes every snapshot and
+timeline a pure function of (seed, configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.export import (
+    canonical_json,
+    observability_payload,
+    validate_snapshot,
+    write_observability,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, metric_key, render_key
+from repro.obs.spans import SPAN_KINDS, Span, SpanTracer
+
+
+class Observability:
+    """One cluster's metrics registry and span tracer, clock-bound together."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.spans = SpanTracer(enabled=enabled)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self.spans.bind_clock(clock)
+
+    def payload(self) -> dict:
+        return observability_payload(self.metrics, self.spans)
+
+    def to_json(self) -> str:
+        return canonical_json(self.payload())
+
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Histogram",
+    "SpanTracer",
+    "Span",
+    "SPAN_KINDS",
+    "metric_key",
+    "render_key",
+    "canonical_json",
+    "observability_payload",
+    "validate_snapshot",
+    "write_observability",
+]

@@ -1,0 +1,75 @@
+"""JSON export and validation for observability snapshots.
+
+One exported document bundles the metrics snapshot and the span timeline::
+
+    {"metrics": {...}, "spans": [...]}
+
+Serialization is canonical (sorted keys, fixed separators) so identical runs
+produce identical bytes — the property the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+
+def canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def observability_payload(
+    metrics: MetricsRegistry, spans: Optional[SpanTracer] = None
+) -> dict[str, Any]:
+    return {
+        "metrics": metrics.snapshot(),
+        "spans": spans.timeline() if spans is not None else [],
+    }
+
+
+def write_observability(
+    path: Union[str, Path],
+    metrics: MetricsRegistry,
+    spans: Optional[SpanTracer] = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(observability_payload(metrics, spans)))
+    return path
+
+
+def _is_bad(value: Any) -> bool:
+    return isinstance(value, float) and (math.isnan(value) or math.isinf(value))
+
+
+def validate_snapshot(
+    snapshot: dict[str, Any], *, require_histograms: bool = False
+) -> list[str]:
+    """Sanity problems in a metrics snapshot; empty list means healthy.
+
+    Flags NaN/inf anywhere and zero-count histograms. With
+    ``require_histograms`` the snapshot must contain at least one histogram —
+    the smoke target uses that to fail when instrumentation silently
+    disappears from the hot paths.
+    """
+    problems: list[str] = []
+    for section in ("counters", "gauges"):
+        for key, value in snapshot.get(section, {}).items():
+            if _is_bad(value):
+                problems.append(f"{section}[{key}] is {value}")
+    histograms = snapshot.get("histograms", {})
+    if require_histograms and not histograms:
+        problems.append("snapshot contains no histograms")
+    for key, summary in histograms.items():
+        if summary.get("count", 0) == 0:
+            problems.append(f"histograms[{key}] is empty")
+            continue
+        for stat, value in summary.items():
+            if _is_bad(value):
+                problems.append(f"histograms[{key}].{stat} is {value}")
+    return problems

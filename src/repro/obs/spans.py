@@ -1,0 +1,167 @@
+"""Causally-linked traversal spans on the runtime clock.
+
+A traversal unfolds as a tree of timed intervals::
+
+    travel                      (coordinator: submit → complete/fail)
+    └── level                   (first activity at step k → travel end)
+        └── unit                (one server-side work unit / barrier step)
+            └── disk            (one storage access, queueing included)
+
+Span ids come from a plain counter and times from the bound runtime clock
+(virtual seconds on the simulated runtime), so the exported timeline of a
+seeded run is byte-identical across executions — the same no-wall-clock
+contract the metrics registry keeps.
+
+Schema of one exported span (see DESIGN.md "Observability"):
+
+``{"span_id": int, "parent_id": int|None, "kind": str, "name": str,
+"start": float, "end": float|None, "attrs": {...}}``
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: the four span kinds, outermost first
+SPAN_KINDS = ("travel", "level", "unit", "disk")
+
+
+@dataclass
+class Span:
+    """One timed interval; ``end is None`` while still open."""
+
+    span_id: int
+    parent_id: Optional[int]
+    kind: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+
+class SpanTracer:
+    """Collects spans cluster-wide (out-of-band; costs no simulated time)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._spans: dict[int, Span] = {}
+        self._ids = itertools.count(1)
+        self._travel_spans: dict[Any, int] = {}
+        self._level_spans: dict[tuple[Any, int], int] = {}
+        self._lock = threading.Lock()
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # -- raw span API ------------------------------------------------------
+
+    def begin(
+        self, kind: str, name: str, parent: Optional[int] = None, **attrs: Any
+    ) -> int:
+        """Open a span; returns its id (0 when tracing is disabled)."""
+        if not self.enabled:
+            return 0
+        with self._lock:
+            sid = next(self._ids)
+            self._spans[sid] = Span(
+                span_id=sid, parent_id=parent, kind=kind, name=name,
+                start=self._clock(), attrs=attrs,
+            )
+            return sid
+
+    def end(self, span_id: int, **attrs: Any) -> None:
+        if not self.enabled or span_id == 0:
+            return
+        with self._lock:
+            span = self._spans.get(span_id)
+            if span is None or span.end is not None:
+                return
+            span.end = self._clock()
+            span.attrs.update(attrs)
+
+    def annotate(self, span_id: int, **attrs: Any) -> None:
+        if not self.enabled or span_id == 0:
+            return
+        span = self._spans.get(span_id)
+        if span is not None:
+            span.attrs.update(attrs)
+
+    # -- traversal helpers (lazy creation keeps causality without plumbing) --
+
+    def travel_span(self, travel_id: Any, **attrs: Any) -> int:
+        """The root span for one traversal, created on first use."""
+        if not self.enabled:
+            return 0
+        sid = self._travel_spans.get(travel_id)
+        if sid is None:
+            sid = self.begin("travel", f"travel-{travel_id}", **attrs)
+            self._travel_spans[travel_id] = sid
+        return sid
+
+    def level_span(self, travel_id: Any, level: int) -> int:
+        """The step-k span of a traversal, parented to its travel span."""
+        if not self.enabled:
+            return 0
+        key = (travel_id, level)
+        sid = self._level_spans.get(key)
+        if sid is None:
+            sid = self.begin(
+                "level", f"travel-{travel_id}/L{level}",
+                parent=self.travel_span(travel_id), level=level,
+            )
+            self._level_spans[key] = sid
+        return sid
+
+    def finish_travel(self, travel_id: Any, **attrs: Any) -> None:
+        """Close the travel span and any still-open level spans under it."""
+        if not self.enabled:
+            return
+        for key in sorted(k for k in self._level_spans if k[0] == travel_id):
+            self.end(self._level_spans.pop(key))
+        sid = self._travel_spans.pop(travel_id, None)
+        if sid is not None:
+            self.end(sid, **attrs)
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans_of_kind(self, kind: str) -> list[Span]:
+        return [s for s in self.timeline_spans() if s.kind == kind]
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [s for s in self.timeline_spans() if s.parent_id == span_id]
+
+    def timeline_spans(self) -> list[Span]:
+        return [self._spans[sid] for sid in sorted(self._spans)]
+
+    def timeline(self) -> list[dict[str, Any]]:
+        """Spans ordered by (start, span_id) — the export form."""
+        ordered = sorted(self._spans.values(), key=lambda s: (s.start, s.span_id))
+        return [s.as_dict() for s in ordered]
+
+    def to_json(self) -> str:
+        return json.dumps(self.timeline(), sort_keys=True, separators=(",", ":"))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._travel_spans.clear()
+            self._level_spans.clear()

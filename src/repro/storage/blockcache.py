@@ -26,6 +26,7 @@ class BlockCache:
         self._blocks: OrderedDict[tuple[int, int], None] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -44,6 +45,7 @@ class BlockCache:
         self._blocks[key] = None
         if len(self._blocks) > self.capacity:
             self._blocks.popitem(last=False)
+            self.evictions += 1
         return False
 
     def invalidate_table(self, table_id: int) -> None:
@@ -59,3 +61,13 @@ class BlockCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def stats_dict(self) -> dict[str, int]:
+        """Counter snapshot for the observability registry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resident_blocks": len(self._blocks),
+        }

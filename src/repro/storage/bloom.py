@@ -23,7 +23,7 @@ def _hash_pair(key: bytes) -> tuple[int, int]:
 class BloomFilter:
     """Fixed-size bloom filter sized for ``expected_items`` at ``fp_rate``."""
 
-    __slots__ = ("nbits", "nhashes", "_bits", "count")
+    __slots__ = ("nbits", "nhashes", "_bits", "count", "probes", "negatives")
 
     def __init__(self, expected_items: int, fp_rate: float = 0.01):
         if expected_items < 1:
@@ -36,6 +36,11 @@ class BloomFilter:
         self.nhashes = max(1, round(nbits / expected_items * ln2))
         self._bits = bytearray((nbits + 7) // 8)
         self.count = 0
+        #: membership probes answered, and how many said "definitely absent"
+        #: (the I/O the filter saved; probes - negatives - true hits = FPs,
+        #: which the LSM store counts when the table probe comes up empty).
+        self.probes = 0
+        self.negatives = 0
 
     def add(self, key: bytes) -> None:
         h1, h2 = _hash_pair(key)
@@ -49,10 +54,12 @@ class BloomFilter:
             self.add(key)
 
     def __contains__(self, key: bytes) -> bool:
+        self.probes += 1
         h1, h2 = _hash_pair(key)
         for i in range(self.nhashes):
             bit = (h1 + i * h2) % self.nbits
             if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                self.negatives += 1
                 return False
         return True
 

@@ -222,3 +222,7 @@ class GraphStore:
     def cold_start(self) -> None:
         """Drop the block cache, as the paper does before each measured run."""
         self.kv.cache.clear()
+
+    def metrics_snapshot(self) -> dict[str, int]:
+        """Storage counters (LSM ops, block cache, bloom filters)."""
+        return self.kv.metrics_snapshot()

@@ -196,3 +196,18 @@ class LSMStore:
     @property
     def approximate_bytes(self) -> int:
         return self.memtable.size_bytes + sum(t.size_bytes for t in self.sstables)
+
+    def metrics_snapshot(self) -> dict[str, int]:
+        """Flat counter map for the observability registry.
+
+        Deliberately excludes SSTable ids: those come from a process-global
+        counter, so including them would break byte-identical snapshots
+        across cluster builds within one process.
+        """
+        out = {f"lsm.{k}": v for k, v in self.stats.as_dict().items()}
+        for k, v in self.cache.stats_dict().items():
+            out[f"blockcache.{k}"] = v
+        out["bloom.probes"] = sum(t.bloom.probes for t in self.sstables)
+        out["bloom.negatives"] = sum(t.bloom.negatives for t in self.sstables)
+        out["lsm.table_count"] = len(self.sstables)
+        return out

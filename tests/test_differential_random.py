@@ -6,11 +6,13 @@ the oracle's per-level vertex sets, on varying server counts and with a tiny
 traversal-affiliate cache (to exercise eviction/replay paths).
 """
 
+import random
+
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
 from repro.cluster import Cluster, ClusterConfig
-from repro.engine import EngineKind, ReferenceEngine, graphtrek_options
+from repro.engine import EngineKind, ReferenceEngine, graphtrek_options, plain_async_options
 from repro.graph import PropertyGraph
 from repro.lang import EQ, RANGE, GTravel
 from repro.lang.filters import FilterSet, PropertyFilter
@@ -129,3 +131,89 @@ def test_greedy_partition_matches_oracle(case):
         ClusterConfig(nservers=nservers, engine=EngineKind.GRAPHTREK, partitioner="greedy"),
     )
     assert cluster.traverse(plan).result.same_vertices(ref)
+
+
+# -- metric invariants on seeded random graphs --------------------------------
+#
+# Plain seeded RNG (not hypothesis) so each case is exactly reproducible by
+# seed alone; the invariants come from the paper's visit accounting (Fig. 7):
+# the barrier engine's per-level dedup is a lower bound on total visits, and
+# the traversal-affiliate cache can only remove disk visits, never add them.
+
+
+def seeded_case(seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(12, 30)
+    g = PropertyGraph()
+    for vid in range(n):
+        g.add_vertex(vid, "T", {"color": rng.randrange(3)})
+    for _ in range(rng.randint(n, 3 * n)):
+        g.add_edge(
+            rng.randrange(n), rng.randrange(n), rng.choice(LABELS),
+            {"w": rng.randrange(4)},
+        )
+    steps = [Step((rng.choice(LABELS),), FilterSet(), FilterSet())
+             for _ in range(rng.randint(2, 4))]
+    plan = TraversalPlan(
+        source_ids=(rng.randrange(n),),
+        source_filters=FilterSet(),
+        steps=tuple(steps),
+        rtn_levels=frozenset({len(steps)}),
+    )
+    return g, plan, rng.randint(2, 4)
+
+
+def run_with(graph, plan, engine, nservers):
+    cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=engine))
+    return cluster.traverse(plan)
+
+
+def test_async_visits_at_least_sync_and_results_identical():
+    """Async engines may revisit (no global barrier dedup); the synchronous
+    baseline's per-level dedup makes its visit count a lower bound."""
+    checked = 0
+    for seed in range(10):
+        graph, plan, nservers = seeded_case(seed)
+        ref = ReferenceEngine(graph).run(plan)
+        sync_out = run_with(graph, plan, EngineKind.SYNC, nservers)
+        async_out = run_with(graph, plan, EngineKind.ASYNC, nservers)
+        assert sync_out.result.same_vertices(ref), f"seed {seed}"
+        assert async_out.result.same_vertices(ref), f"seed {seed}"
+        assert async_out.stats.total_visits >= sync_out.stats.total_visits, (
+            f"seed {seed}: async visited less than the barrier baseline"
+        )
+        checked += sync_out.stats.total_visits > 0
+    assert checked, "every seeded case degenerated to an empty traversal"
+
+
+def test_affiliate_cache_never_adds_disk_visits():
+    """GraphTrek with the traversal-affiliate cache must do no more real
+    (disk) visits than the identically configured cache-less engine."""
+    for seed in range(10):
+        graph, plan, nservers = seeded_case(seed + 100)
+        ref = ReferenceEngine(graph).run(plan)
+        cached = run_with(graph, plan, graphtrek_options(), nservers)
+        uncached = run_with(
+            graph, plan, graphtrek_options(cache_enabled=False), nservers
+        )
+        assert cached.result.same_vertices(ref), f"seed {seed}"
+        assert uncached.result.same_vertices(ref), f"seed {seed}"
+        assert cached.stats.real_io_visits <= uncached.stats.real_io_visits, (
+            f"seed {seed}: the cache increased disk visits"
+        )
+
+
+def test_metric_counters_match_stats_board():
+    """The new registry and the legacy stats board watch the same events:
+    real-visit counters must agree exactly."""
+    for seed in (3, 7):
+        graph, plan, nservers = seeded_case(seed)
+        for engine in (EngineKind.SYNC, plain_async_options()):
+            cluster = Cluster.build(
+                graph, ClusterConfig(nservers=nservers, engine=engine)
+            )
+            out = cluster.traverse(plan)
+            metrics = cluster.obs.metrics
+            assert metrics.counter_total("engine.real_visits") == (
+                out.stats.real_io_visits
+            ), f"seed {seed}"

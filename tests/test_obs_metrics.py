@@ -1,0 +1,210 @@
+"""Unit tests for the observability layer: registry, histograms, spans."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    SpanTracer,
+    metric_key,
+    render_key,
+    validate_snapshot,
+)
+from repro.obs.export import canonical_json, observability_payload
+
+
+class TestMetricKey:
+    def test_labels_sorted_regardless_of_call_order(self):
+        assert metric_key("m", {"b": 1, "a": 2}) == metric_key("m", {"a": 2, "b": 1})
+
+    def test_render_without_labels(self):
+        assert render_key(metric_key("engine.visits", {})) == "engine.visits"
+
+    def test_render_with_labels(self):
+        key = metric_key("engine.visits", {"server": 3, "level": 1})
+        assert render_key(key) == "engine.visits{level=1,server=3}"
+
+
+class TestHistogram:
+    def test_empty_summary_is_nan(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+        assert math.isnan(summary["p50"])
+        assert math.isnan(summary["mean"])
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.observe(4.0)
+        s = h.summary()
+        assert s == {
+            "count": 1, "sum": 4.0, "min": 4.0, "max": 4.0,
+            "mean": 4.0, "p50": 4.0, "p95": 4.0, "p99": 4.0,
+        }
+
+    def test_nearest_rank_quantiles(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+
+    def test_quantiles_insensitive_to_insertion_order(self):
+        a, b = Histogram(), Histogram()
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for v in values:
+            a.observe(v)
+        for v in sorted(values):
+            b.observe(v)
+        assert a.summary() == b.summary()
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.count("visits", server=0)
+        reg.count("visits", 2, server=0)
+        reg.count("visits", server=1)
+        assert reg.counter_value("visits", server=0) == 3
+        assert reg.counter_value("visits", server=1) == 1
+        assert reg.counter_total("visits") == 4
+
+    def test_gauge_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 5)
+        reg.set_gauge("depth", 2)
+        assert reg.gauge_value("depth") == 2
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.count("visits")
+        reg.set_gauge("depth", 1)
+        reg.observe("latency", 0.5)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_collectors_run_at_snapshot_and_are_idempotent(self):
+        reg = MetricsRegistry()
+        source = {"value": 7}
+        reg.add_collector(lambda m: m.set_gauge("pull.value", source["value"]))
+        assert reg.snapshot()["gauges"]["pull.value"] == 7
+        # A second snapshot must agree (collectors set, never increment).
+        assert reg.snapshot()["gauges"]["pull.value"] == 7
+        source["value"] = 9
+        assert reg.snapshot()["gauges"]["pull.value"] == 9
+
+    def test_snapshot_keys_sorted_and_json_stable(self):
+        reg = MetricsRegistry()
+        reg.count("b.metric", server=1)
+        reg.count("a.metric", server=2)
+        reg.count("a.metric", server=0)
+        snap = reg.snapshot()
+        keys = list(snap["counters"])
+        assert keys == sorted(keys)
+        assert reg.to_json() == reg.to_json()
+        # round-trips as JSON
+        assert json.loads(reg.to_json()) == snap
+
+    def test_clear_resets_everything(self):
+        reg = MetricsRegistry()
+        reg.count("c")
+        reg.observe("h", 1.0)
+        reg.clear()
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+
+
+class TestSpanTracer:
+    def _clocked_tracer(self):
+        tracer = SpanTracer()
+        state = {"t": 0.0}
+        tracer.bind_clock(lambda: state["t"])
+        return tracer, state
+
+    def test_begin_end_records_interval(self):
+        tracer, state = self._clocked_tracer()
+        sid = tracer.begin("unit", "s0:L0", server=0)
+        state["t"] = 1.5
+        tracer.end(sid, vertices=3)
+        (span,) = tracer.timeline_spans()
+        assert span.start == 0.0 and span.end == 1.5
+        assert span.attrs == {"server": 0, "vertices": 3}
+
+    def test_end_is_idempotent(self):
+        tracer, state = self._clocked_tracer()
+        sid = tracer.begin("disk", "v1")
+        state["t"] = 1.0
+        tracer.end(sid)
+        state["t"] = 2.0
+        tracer.end(sid)  # must not move the end time
+        assert tracer.timeline_spans()[0].end == 1.0
+
+    def test_disabled_tracer_returns_zero_ids(self):
+        tracer = SpanTracer(enabled=False)
+        assert tracer.begin("unit", "x") == 0
+        tracer.end(0)
+        assert len(tracer) == 0
+
+    def test_travel_and_level_spans_are_causally_linked(self):
+        tracer, state = self._clocked_tracer()
+        root = tracer.travel_span("t1", engine="graphtrek")
+        assert tracer.travel_span("t1") == root  # lazy: one per travel
+        lvl0 = tracer.level_span("t1", 0)
+        lvl1 = tracer.level_span("t1", 1)
+        assert tracer.level_span("t1", 0) == lvl0
+        unit = tracer.begin("unit", "s0:L1", parent=lvl1)
+        state["t"] = 3.0
+        tracer.end(unit)
+        tracer.finish_travel("t1", status="ok")
+        spans = {s.span_id: s for s in tracer.timeline_spans()}
+        assert spans[lvl0].parent_id == root
+        assert spans[lvl1].parent_id == root
+        assert spans[unit].parent_id == lvl1
+        # finish_travel closed every remaining open span
+        assert all(s.end is not None for s in spans.values())
+        assert spans[root].attrs["status"] == "ok"
+
+    def test_timeline_ordered_by_start_time(self):
+        tracer, state = self._clocked_tracer()
+        state["t"] = 5.0
+        late = tracer.begin("unit", "late")
+        state["t"] = 1.0
+        early = tracer.begin("unit", "early")
+        tracer.end(late)
+        tracer.end(early)
+        assert [s["span_id"] for s in tracer.timeline()] == [early, late]
+
+
+class TestExportValidation:
+    def test_payload_bundles_metrics_and_spans(self):
+        obs = Observability()
+        obs.metrics.count("c")
+        payload = observability_payload(obs.metrics, obs.spans)
+        assert set(payload) == {"metrics", "spans"}
+        assert canonical_json(payload) == obs.to_json()
+
+    def test_validate_flags_nan_and_empty(self):
+        snap = {
+            "counters": {"bad": float("nan")},
+            "gauges": {},
+            "histograms": {"empty": Histogram().summary()},
+        }
+        problems = validate_snapshot(snap)
+        assert any("bad" in p for p in problems)
+        assert any("empty" in p for p in problems)
+
+    def test_validate_requires_histograms_when_asked(self):
+        snap = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert validate_snapshot(snap) == []
+        assert validate_snapshot(snap, require_histograms=True)
+
+    def test_clean_snapshot_passes(self):
+        reg = MetricsRegistry()
+        reg.count("ok")
+        reg.observe("lat", 0.25)
+        assert validate_snapshot(reg.snapshot(), require_histograms=True) == []

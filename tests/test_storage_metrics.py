@@ -1,0 +1,138 @@
+"""Storage-layer metric counters, checked against hand-computed values.
+
+The block cache's hit/miss/eviction counters and the bloom filters'
+probe/negative counters feed the observability gauges, so each one is pinned
+to an exactly computable scenario on tiny fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.storage import BlockCache, BloomFilter, LSMConfig, LSMStore
+
+
+# -- block cache --------------------------------------------------------------
+
+def test_blockcache_hits_misses_evictions_hand_computed():
+    cache = BlockCache(capacity_blocks=2)
+    assert cache.access(1, 0) is False  # miss, resident {A}
+    assert cache.access(1, 0) is True   # hit
+    assert cache.access(1, 1) is False  # miss, resident {A, B}
+    assert cache.access(1, 2) is False  # miss, evicts A (LRU)
+    assert cache.access(1, 0) is False  # miss again (was evicted), evicts B
+    assert cache.stats_dict() == {
+        "hits": 1, "misses": 4, "evictions": 2, "resident_blocks": 2,
+    }
+
+
+def test_blockcache_zero_capacity_never_evicts():
+    cache = BlockCache(0)
+    for block in range(5):
+        assert cache.access(1, block) is False
+    assert cache.stats_dict() == {
+        "hits": 0, "misses": 5, "evictions": 0, "resident_blocks": 0,
+    }
+
+
+def test_blockcache_reset_stats_clears_evictions():
+    cache = BlockCache(1)
+    cache.access(1, 0)
+    cache.access(1, 1)  # evicts block 0
+    assert cache.evictions == 1
+    cache.reset_stats()
+    assert cache.stats_dict() == {
+        "hits": 0, "misses": 0, "evictions": 0, "resident_blocks": 1,
+    }
+
+
+def test_blockcache_clear_keeps_counters():
+    cache = BlockCache(4)
+    cache.access(1, 0)
+    cache.access(1, 0)
+    cache.clear()  # cold start: drops blocks, keeps counters
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.stats_dict()["resident_blocks"] == 0
+
+
+# -- bloom filter --------------------------------------------------------------
+
+def test_bloom_probe_and_negative_counters():
+    bloom = BloomFilter(100, 0.01)
+    present = [f"in-{i}".encode() for i in range(100)]
+    bloom.update(present)
+    for key in present:
+        assert key in bloom  # no false negatives, 100 probes
+    absent_hits = 0
+    for i in range(200):
+        if f"out-{i}".encode() in bloom:
+            absent_hits += 1  # false positive
+    assert bloom.probes == 300
+    # every non-negative probe on an absent key is a false positive
+    assert bloom.negatives == 200 - absent_hits
+    assert bloom.negatives + absent_hits + 100 == bloom.probes
+
+
+def test_bloom_counters_start_at_zero():
+    bloom = BloomFilter(10)
+    assert bloom.probes == 0 and bloom.negatives == 0
+    bloom.add(b"x")
+    assert bloom.probes == 0  # add() does not probe
+
+
+# -- LSM store snapshot --------------------------------------------------------
+
+def _loaded_store(cache_blocks: int = 8) -> LSMStore:
+    store = LSMStore(LSMConfig(block_cache_blocks=cache_blocks))
+    store.bulk_load((f"k{i:03d}".encode(), b"v" * 8) for i in range(64))
+    return store
+
+
+def test_lsm_metrics_snapshot_tracks_bloom_negatives():
+    store = _loaded_store()
+    snap0 = store.metrics_snapshot()
+    assert snap0["bloom.probes"] == 0
+    assert snap0["lsm.table_count"] == 1
+
+    value, _ = store.get(b"k001")
+    assert value == b"v" * 8
+    # an in-range missing key: the range check cannot short-circuit, so the
+    # bloom filter itself must answer (or give a false positive)
+    missing, _ = store.get(b"k010x")
+    assert missing is None
+
+    snap = store.metrics_snapshot()
+    assert snap["lsm.gets"] == 2
+    assert snap["bloom.probes"] == 2
+    # the miss was answered by the filter or paid a false-positive probe
+    assert (
+        snap["bloom.negatives"] + snap["lsm.bloom_false_positives"] == 1
+    )
+
+
+def test_lsm_metrics_snapshot_tracks_cache_counters():
+    store = _loaded_store(cache_blocks=8)
+    store.get(b"k010")
+    store.get(b"k010")  # same entry: second read hits the block cache
+    snap = store.metrics_snapshot()
+    assert snap["blockcache.hits"] >= 1
+    assert snap["blockcache.misses"] >= 1
+    assert snap["blockcache.resident_blocks"] >= 1
+
+
+def test_lsm_metrics_snapshot_has_no_table_ids():
+    """SSTable ids come from a process-global counter; exporting them would
+    break byte-identical snapshots across cluster builds."""
+    store = _loaded_store()
+    assert all("table_id" not in key for key in store.metrics_snapshot())
+
+
+def test_lsm_metrics_snapshot_aggregates_multiple_tables():
+    store = LSMStore(LSMConfig(block_cache_blocks=4))
+    store.bulk_load([(b"a", b"1"), (b"c", b"3")])
+    store.bulk_load([(b"a", b"1new"), (b"d", b"4")])
+    assert store.metrics_snapshot()["lsm.table_count"] == 2
+    store.get(b"b")  # in both tables' key ranges: two bloom probes
+    snap = store.metrics_snapshot()
+    assert snap["bloom.probes"] == 2
+    assert (
+        snap["bloom.negatives"] + snap["lsm.bloom_false_positives"] == 2
+    )
