@@ -63,8 +63,14 @@ from repro.graph import (
     Vertex,
     hpc_metadata_schema,
 )
+from repro.faults import CrashEvent, FaultPlan, FaultSpec, sample_fault_plan
 from repro.lang import EQ, IN, RANGE, FilterOp, GTravel, TraversalPlan, union_results
-from repro.net import ETHERNET_10G, INFINIBAND_QDR, NetworkModel
+from repro.net import (
+    ETHERNET_10G,
+    INFINIBAND_QDR,
+    NetworkModel,
+    ReliableConfig,
+)
 from repro.storage import GPFS, LOCAL_DISK, DiskCostModel, GraphStore, LSMConfig, LSMStore
 from repro.workloads import (
     MetadataGraphConfig,
@@ -110,6 +116,11 @@ __all__ = [
     "StorageError",
     "TraversalError",
     "TraversalFailed",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "sample_fault_plan",
+    "ReliableConfig",
     "Edge",
     "GraphBuilder",
     "PropertyGraph",

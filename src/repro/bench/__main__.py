@@ -6,12 +6,16 @@ Usage::
     python -m repro.bench table1 fig11    # a subset
     REPRO_BENCH_SCALE=14 python -m repro.bench table1
 
+    # robustness: 10 seeded fault plans with a tightened watchdog
+    python -m repro.bench chaos --fault-plan 7 --exec-timeout 0.2 --max-restarts 2
+
 Prints the paper-style tables and writes JSON to benchmarks/results/.
 Exit code 1 if any shape check fails.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.bench import experiments as exp
@@ -31,22 +35,72 @@ EXPERIMENTS = {
     "ablation_opts": lambda env: exp.exp_ablation_optimizations(env),
     "ablation_partition": lambda env: exp.exp_ablation_partitioning(env),
     "ablation_layout": lambda env: exp.exp_ablation_layout(),
+    "chaos": lambda env: exp.exp_chaos(env),
 }
 
 
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables/figures and robustness runs.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="experiment",
+        help=f"subset to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="base seed for the chaos experiment's sampled fault plans "
+        "(implies running 'chaos' if no experiments were named)",
+    )
+    parser.add_argument(
+        "--exec-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the chaos watchdog's per-execution timeout "
+        "(virtual seconds)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        help="override the chaos watchdog's whole-traversal restart budget",
+    )
+    return parser.parse_args(argv)
+
+
 def main(argv: list[str]) -> int:
-    names = argv or list(EXPERIMENTS)
+    args = _parse_args(argv)
+    fault_knobs = (
+        args.fault_plan is not None
+        or args.exec_timeout is not None
+        or args.max_restarts is not None
+    )
+    names = args.names or (["chaos"] if fault_knobs else list(EXPERIMENTS))
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
         return 2
+    runners = dict(EXPERIMENTS)
+    runners["chaos"] = lambda env: exp.exp_chaos(
+        env,
+        fault_seed=args.fault_plan if args.fault_plan is not None else 0,
+        exec_timeout=args.exec_timeout,
+        max_restarts=args.max_restarts,
+    )
     env = BenchEnvironment.from_env()
     print(f"environment: scale={env.scale} edge_factor={env.edge_factor} "
           f"servers={env.servers}")
     any_failed = False
     for name in names:
         print(banner(name))
-        result = EXPERIMENTS[name](env)
+        result = runners[name](env)
         print(result.rendered)
         for check in result.checks:
             status = "PASS" if check.passed else "FAIL"

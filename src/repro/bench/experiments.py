@@ -8,7 +8,7 @@ checks; EXPERIMENTS.md records the outcomes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 import numpy as np
@@ -18,6 +18,7 @@ from repro.bench.harness import BenchEnvironment, Cell, cell_lookup
 from repro.cluster import paper_interference
 from repro.engine import EngineKind, ReferenceEngine
 from repro.graph import in_degree_stats, out_degree_stats
+from repro.lang import GTravel
 from repro.workloads import PAPER_TABLE2, suspicious_user_query
 
 SYNC = EngineKind.SYNC.value
@@ -582,3 +583,128 @@ def exp_ablation_partitioning(env: Optional[BenchEnvironment] = None) -> Experim
         },
     )
     return ExperimentResult("ablation_partition", cells, rendered, checks)
+
+
+# -- Chaos (robustness) -------------------------------------------------------
+
+
+def exp_chaos(
+    env: Optional[BenchEnvironment] = None,
+    *,
+    fault_seed: int = 0,
+    plans: int = 10,
+    exec_timeout: Optional[float] = None,
+    max_restarts: Optional[int] = None,
+) -> ExperimentResult:
+    """Chaos differential: ``plans`` sampled fault plans (seeds
+    ``fault_seed..fault_seed+plans-1``) against the fault-free baseline on
+    the metadata graph, every third plan with a mid-traversal server crash.
+
+    Each run must either reproduce the baseline result set exactly or fail
+    cleanly with ``TraversalFailed``; on top, one plan is rerun to assert the
+    ``net.*``/``faults.*`` counter snapshot is deterministic.
+    """
+    from repro.faults.chaos import (
+        chaos_check,
+        chaos_coordinator_config,
+        run_fault_free,
+        run_under_faults,
+    )
+    from repro.faults.plan import sample_fault_plan
+
+    env = env or BenchEnvironment.from_env()
+    md = harness.darshan_graph(scale_users=12, seed=env.seed)
+    query = (
+        GTravel.v(*md.user_ids).e("run").e("hasExecutions").e("read").compile()
+    )
+    baseline, duration = run_fault_free(md.graph, query)
+    cc = chaos_coordinator_config(duration)
+    if exec_timeout is not None:
+        cc = replace(cc, exec_timeout=exec_timeout, watch_interval=exec_timeout / 4.0)
+    if max_restarts is not None:
+        cc = replace(cc, max_restarts=max_restarts)
+
+    seeds = list(range(fault_seed, fault_seed + plans))
+    rows: dict = {}
+    outcomes = []
+    for i, seed in enumerate(seeds):
+        outcome = chaos_check(
+            md.graph, query, seed=seed, crash=i % 3 == 1, coordinator_config=cc
+        )
+        outcomes.append(outcome)
+        verdict = "match" if outcome.matched else (
+            "clean-fail" if outcome.failed_cleanly else "WRONG RESULT"
+        )
+        retries = sum(
+            v for k, v in outcome.net_counters.items() if k.startswith("net.retries")
+        )
+        crashes = sum(
+            v for k, v in outcome.net_counters.items() if k.startswith("faults.crashes")
+        )
+        rows[f"plan seed {seed}"] = (
+            f"{verdict}  (retries={retries}, crashes={crashes})"
+        )
+
+    # Determinism probe: replay the first crash plan twice, compare snapshots.
+    probe = sample_fault_plan(
+        seeds[1], nservers=3, crash_window=(0.2 * duration, 3.0 * duration)
+    )
+    reruns = [
+        run_under_faults(md.graph, query, probe, coordinator_config=cc)
+        for _ in range(2)
+    ]
+    deterministic = reruns[0] == reruns[1]
+
+    checks = [
+        ShapeCheck(
+            "chaos_differential_contract",
+            all(o.ok for o in outcomes),
+            f"{sum(o.matched for o in outcomes)}/{len(outcomes)} matched, "
+            f"{sum(o.failed_cleanly for o in outcomes)} failed cleanly, "
+            f"{sum(not o.ok for o in outcomes)} violated the contract",
+        ),
+        ShapeCheck(
+            "crash_plans_actually_crashed",
+            any(
+                any(k.startswith("faults.crashes") for k in o.net_counters)
+                for o in outcomes
+                if o.plan.crashes
+            ),
+            # a sampled crash time can land past the faulty run's completion,
+            # so require that the machinery fired on at least one plan
+            f"crash fired on "
+            f"{sum(any(k.startswith('faults.crashes') for k in o.net_counters) for o in outcomes if o.plan.crashes)}"
+            f"/{sum(bool(o.plan.crashes) for o in outcomes)} crash-bearing plans",
+        ),
+        ShapeCheck(
+            "fault_snapshots_deterministic",
+            deterministic,
+            "same plan + seed reproduced identical results and "
+            "net.*/faults.* counters" if deterministic
+            else "rerun diverged — fault injection is not deterministic",
+        ),
+    ]
+    rows["watchdog"] = (
+        f"exec_timeout={cc.exec_timeout:.3f}s max_restarts={cc.max_restarts}"
+    )
+    rendered = report.kv_table(
+        f"Chaos — {plans} fault plans vs fault-free baseline "
+        f"(base seed {fault_seed})",
+        rows,
+    )
+    extra = {
+        "fault_seed": fault_seed,
+        "plans": plans,
+        "baseline_duration": duration,
+        "outcomes": [
+            {
+                "seed": o.seed,
+                "matched": o.matched,
+                "failed_cleanly": o.failed_cleanly,
+                "error": o.error,
+                "net_counters": o.net_counters,
+            }
+            for o in outcomes
+        ],
+    }
+    return ExperimentResult("chaos", [], rendered, checks, extra=extra)

@@ -22,8 +22,10 @@ from repro.engine.sync_engine import SyncServerEngine
 from repro.cluster.coordinator import Coordinator, CoordinatorConfig
 from repro.cluster.server import BackendServer
 from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
 from repro.graph.builder import PropertyGraph
-from repro.ids import ServerId, TravelId
+from repro.ids import COORDINATOR, ServerId, TravelId
+from repro.net.reliable import ReliableChannel, ReliableConfig
 from repro.lang.gtravel import GTravel
 from repro.lang.plan import TraversalPlan
 from repro.net.topology import INFINIBAND_QDR, NetworkModel
@@ -61,6 +63,14 @@ class ClusterConfig:
     #: "grouped" (paper layout: same-label edges contiguous) or
     #: "interleaved" (generic column layout; the §IV-B ablation baseline).
     edge_layout: str = "grouped"
+    #: declarative fault injection (drops/dups/delays/crashes); replaces the
+    #: raw ``runtime.drop_filter`` hook as the supported injection point.
+    fault_plan: Optional[FaultPlan] = None
+    #: wrap all messaging in the at-least-once ReliableChannel (acks,
+    #: seeded-backoff retries, receiver dedup). Off by default: the fault-free
+    #: wire needs no acks and the paper's timings are measured without them.
+    reliable: bool = False
+    reliable_config: Optional[ReliableConfig] = None
 
     def engine_options(self) -> EngineOptions:
         if isinstance(self.engine, EngineOptions):
@@ -137,9 +147,13 @@ class Cluster:
             runtime.register_handler(server_id, engine.on_message)
             servers.append(BackendServer(server_id, ctx, store, engine))
 
+        channel: Optional[ReliableChannel] = None  # assigned below if reliable
+
         def _forget(travel_id: TravelId) -> None:
             for server in servers:
                 server.engine.forget_travel(travel_id)
+            if channel is not None:
+                channel.forget_travel(travel_id)
 
         coordinator = Coordinator(
             ctx=runtime.context(config.coordinator_server),
@@ -163,6 +177,38 @@ class Cluster:
         else:
             ctx0 = runtime.context(0)
             obs.bind_clock(ctx0.now)
+        runtime.bind_metrics(obs.metrics)
+
+        # Fault machinery: crashes clear engine memory (LSM storage keeps its
+        # state inside GraphStore, untouched); the reliable channel interposes
+        # on deliver() and feeds ack-exhaustion back as crash suspicion.
+        runtime.add_crash_listener(lambda s: servers[s].engine.crash())
+        if config.fault_plan is not None:
+            runtime.install_faults(config.fault_plan)
+        if config.reliable:
+            reliable_cfg = config.reliable_config
+            if reliable_cfg is None and config.runtime == "threaded":
+                # Wall-clock timers have ~millisecond resolution, so the
+                # virtual-seconds ack timeout must be large enough (after
+                # time_scale) that a real ack round trip beats the retry
+                # timer — otherwise every frame retries to exhaustion.
+                reliable_cfg = ReliableConfig(ack_timeout=0.5)
+            channel = ReliableChannel(
+                runtime,
+                config=reliable_cfg,
+                metrics=obs.metrics,
+                spans=obs.spans,
+                seed=config.fault_plan.seed if config.fault_plan is not None else 0,
+            )
+            runtime.install_channel(channel)
+
+            def _suspect(src: ServerId, dst: ServerId, payload) -> None:
+                if dst == COORDINATOR:
+                    return
+                with runtime.exclusive(config.coordinator_server):
+                    coordinator.on_suspect(dst)
+
+            channel.on_delivery_failure = _suspect
 
         def _collect_storage(metrics) -> None:
             for server in servers:
@@ -170,6 +216,7 @@ class Cluster:
                     metrics.set_gauge(f"storage.{name}", value, server=server.server_id)
             metrics.set_gauge("runtime.messages_sent", runtime.messages_sent)
             metrics.set_gauge("runtime.bytes_sent", runtime.bytes_sent)
+            metrics.set_gauge("runtime.messages_dropped", runtime.messages_dropped)
 
         obs.metrics.add_collector(_collect_storage)
         if config.interference is not None and hasattr(config.interference, "bind_metrics"):

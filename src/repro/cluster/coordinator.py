@@ -26,7 +26,7 @@ from repro.engine.registry import TravelEntry, TravelRegistry
 from repro.engine.statistics import StatsBoard
 from repro.engine.tracing import ExecTracker, SyncBarrierState
 from repro.errors import TraversalFailed
-from repro.ids import IdAllocator, ServerId, TravelId, VertexId
+from repro.ids import COORDINATOR, IdAllocator, ServerId, TravelId, VertexId
 from repro.lang.plan import TraversalPlan
 from repro.net.message import (
     ExecStatus,
@@ -441,19 +441,51 @@ class Coordinator:
         self.metrics.count("coord.replay_rounds")
         stats = self.board.stats(at.travel_id)
         for eid, (_target, _level, origin) in pending:
-            stats.replays += 1
-            self.metrics.count("coord.replays")
-            if origin == -1:
-                dst, request = at.initial_sent[eid]
-                self._send(at.travel_id, dst, request)
-            else:
-                self._send(
-                    at.travel_id,
-                    origin,
-                    ReplayExec(at.travel_id, exec_id=eid, attempt=at.entry.attempt),
-                )
+            self._replay_one(at, stats, eid, origin)
         tracker.last_activity = self.ctx.now()  # give replays time to land
         return True
+
+    def _replay_one(self, at: ActiveTravel, stats, eid: int, origin: ServerId) -> None:
+        stats.replays += 1
+        self.metrics.count("coord.replays")
+        if origin == COORDINATOR:
+            dst, request = at.initial_sent[eid]
+            self._send(at.travel_id, dst, request)
+        else:
+            self._send(
+                at.travel_id,
+                origin,
+                ReplayExec(at.travel_id, exec_id=eid, attempt=at.entry.attempt),
+            )
+
+    def on_suspect(self, server: ServerId) -> None:
+        """Crash suspicion from the reliable transport (ack retries
+        exhausted against ``server``). Instead of waiting out the watchdog
+        timeout, immediately replay the executions pending *on the suspected
+        server* from their creators' buffers (paper §IV-C's status trace
+        tells us exactly which those are). Sync mode has no per-execution
+        replay; the watchdog restart stays its only recovery.
+        """
+        self.metrics.count("coord.suspected", server=server)
+        if self.is_sync or not self.config.fine_grained_recovery:
+            return
+        for at in list(self._active.values()):
+            if at.done or at.replay_rounds >= self.config.max_replay_rounds:
+                continue
+            tracker: ExecTracker = at.tracker  # type: ignore[assignment]
+            targeted = [
+                (eid, origin)
+                for eid, (target, _level, origin) in tracker.pending.items()
+                if target == server
+            ]
+            if not targeted or tracker.early_terminated:
+                continue
+            at.replay_rounds += 1
+            self.metrics.count("coord.replay_rounds")
+            stats = self.board.stats(at.travel_id)
+            for eid, origin in targeted:
+                self._replay_one(at, stats, eid, origin)
+            tracker.last_activity = self.ctx.now()
 
     def _restart(self, at: ActiveTravel) -> None:
         """Restart the traversal from scratch under a new attempt number."""

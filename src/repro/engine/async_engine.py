@@ -489,6 +489,18 @@ class AsyncServerEngine:
         for key in [k for k in self._sent if k[0] == travel_id]:
             del self._sent[key]
 
+    def crash(self) -> None:
+        """Crash-model hook: lose every piece of in-memory traversal state
+        (pending work, affiliate cache, RTN dedup, replay buffers). LSM
+        storage survives by design. Queued keys whose pending entry vanished
+        are no-ops in the worker, so workers survive the crash."""
+        self._pending.clear()
+        self._rtn_forwarded.clear()
+        self._sent.clear()
+        capacity = self.opts.cache_capacity if self.opts.cache_enabled else _UNBOUNDED
+        self.seen = TraversalAffiliateCache(capacity)
+        self.metrics.count("engine.crashes", server=self.ctx.server_id)
+
     @property
     def queue_length(self) -> int:
         return self.ctx.queue_len(self.queue)

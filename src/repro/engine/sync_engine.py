@@ -80,6 +80,10 @@ class SyncServerEngine:
         #: (expect_batches, all_sources) once the start order arrived
         self._expected: dict[tuple[TravelKey, int], tuple[int, bool]] = {}
         self._seq = itertools.count()
+        #: bumped on crash so queued step keys from before the crash are
+        #: skipped instead of processed against emptied buffers (which would
+        #: report an understated SyncStepDone and silently shrink results)
+        self._epoch = 0
         self._worker_proc = ctx.spawn(self._worker(), name="sync-worker")
 
     # -- message entry point ---------------------------------------------------
@@ -119,14 +123,16 @@ class SyncServerEngine:
             return
         if self._batch_counts.get(key, 0) >= expected[0]:
             del self._expected[key]
-            self.ctx.queue_put(self.queue, (0, next(self._seq), key))
+            self.ctx.queue_put(self.queue, (0, next(self._seq), key, self._epoch))
 
     # -- step processing ------------------------------------------------------------
 
     def _worker(self):
         while True:
             item = yield self.ctx.queue_get(self.queue)
-            _, _, key = item
+            _, _, key, epoch = item
+            if epoch != self._epoch:
+                continue  # queued before a crash; its buffers are gone
             yield from self._process_step(key)
 
     def _process_step(self, key: tuple[TravelKey, int]):
@@ -279,3 +285,14 @@ class SyncServerEngine:
         for store in (self._buffers, self._batch_counts, self._expected):
             for key in [k for k in store if k[0][0] == travel_id]:
                 del store[key]
+
+    def crash(self) -> None:
+        """Crash-model hook: lose buffered batches and barrier bookkeeping.
+        The epoch bump invalidates step keys already sitting in the queue;
+        the stalled barrier is resolved by the coordinator's watchdog
+        restarting the traversal (sync mode has no fine-grained replay)."""
+        self._buffers.clear()
+        self._batch_counts.clear()
+        self._expected.clear()
+        self._epoch += 1
+        self.metrics.count("engine.crashes", server=self.ctx.server_id)

@@ -21,7 +21,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.ids import ExecId, ServerId
+from repro.ids import COORDINATOR, ExecId, ServerId
 from repro.net.message import ExecStatus
 
 
@@ -30,8 +30,8 @@ class ExecTracker:
     """Quiescence and progress accounting for one traversal attempt."""
 
     attempt: int = 0
-    #: exec id -> (target server, level, origin server); origin -1 means the
-    #: coordinator itself dispatched it (and can replay it).
+    #: exec id -> (target server, level, origin server); origin COORDINATOR
+    #: means the coordinator itself dispatched it (and can replay it).
     pending: dict[ExecId, tuple[ServerId, int, ServerId]] = field(default_factory=dict)
     early_terminated: set[ExecId] = field(default_factory=set)
     #: already-terminated ids, so duplicate reports from replayed executions
@@ -51,7 +51,7 @@ class ExecTracker:
         self.started = True
         self.last_activity = now
         for eid, server, level in execs:
-            self._register(eid, server, level, origin=-1)
+            self._register(eid, server, level, origin=COORDINATOR)
 
     def _register(
         self, eid: ExecId, server: ServerId, level: int, origin: ServerId

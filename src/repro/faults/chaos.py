@@ -1,0 +1,168 @@
+"""Chaos harness: differential runs under sampled fault plans.
+
+The correctness contract for the whole fault stack is *differential*: a
+traversal under drops, duplicates, delays, and a mid-flight server crash must
+either return a result set identical to the fault-free run at the same seed,
+or fail cleanly with :class:`~repro.errors.TraversalFailed` after
+``max_restarts`` — never silently return a wrong set. On the simulated
+runtime the faulty run is additionally *deterministic*: the same fault plan
+and seed reproduce the same ``net.*``/``faults.*`` counters, so a chaos
+failure is replayable from its seed alone.
+
+Used by ``tests/test_chaos.py`` and the ``chaos`` bench experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.coordinator import CoordinatorConfig
+from repro.engine.base import EngineKind
+from repro.engine.options import EngineOptions
+from repro.errors import TraversalError
+from repro.faults.plan import FaultPlan, sample_fault_plan
+from repro.graph.builder import PropertyGraph
+from repro.lang.gtravel import GTravel
+from repro.lang.plan import TraversalPlan
+
+
+def _net_counters(snapshot: dict) -> dict:
+    return {
+        k: v
+        for k, v in snapshot.get("counters", {}).items()
+        if k.startswith(("net.", "faults."))
+    }
+
+
+@dataclass
+class ChaosOutcome:
+    """One differential chaos run: fault-free baseline vs. faulty rerun."""
+
+    seed: int
+    plan: FaultPlan
+    baseline: dict
+    #: vertex sets of the faulty run, or None if it failed
+    faulty: Optional[dict]
+    matched: bool
+    failed_cleanly: bool
+    error: Optional[str]
+    baseline_duration: float
+    net_counters: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The contract: identical results, or a clean declared failure."""
+        return self.matched or self.failed_cleanly
+
+
+def run_fault_free(
+    graph: PropertyGraph,
+    query: Union[GTravel, TraversalPlan],
+    *,
+    engine: Union[EngineKind, EngineOptions] = EngineKind.GRAPHTREK,
+    nservers: int = 3,
+) -> tuple[dict, float]:
+    """Baseline run; returns (result sets, virtual duration)."""
+    cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=engine))
+    start = cluster.now
+    outcome = cluster.traverse(query)
+    duration = cluster.now - start
+    cluster.shutdown()
+    return dict(outcome.result.returned), duration
+
+
+def run_under_faults(
+    graph: PropertyGraph,
+    query: Union[GTravel, TraversalPlan],
+    plan: FaultPlan,
+    *,
+    engine: Union[EngineKind, EngineOptions] = EngineKind.GRAPHTREK,
+    nservers: int = 3,
+    coordinator_config: Optional[CoordinatorConfig] = None,
+    reliable: bool = True,
+) -> tuple[Optional[dict], Optional[str], dict]:
+    """One traversal under ``plan``; returns (results-or-None, error, counters)."""
+    config = ClusterConfig(
+        nservers=nservers,
+        engine=engine,
+        fault_plan=plan,
+        reliable=reliable,
+        coordinator_config=coordinator_config or CoordinatorConfig(),
+    )
+    cluster = Cluster.build(graph, config)
+    returned: Optional[dict] = None
+    error: Optional[str] = None
+    try:
+        outcome = cluster.traverse(query)
+        returned = dict(outcome.result.returned)
+    except TraversalError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    counters = _net_counters(cluster.metrics_snapshot())
+    cluster.shutdown()
+    return returned, error, counters
+
+
+def chaos_coordinator_config(baseline_duration: float) -> CoordinatorConfig:
+    """Watchdog policy scaled to the traversal under test: tight enough that
+    lost work is detected within a few traversal-lengths, loose enough that
+    retry backoff does not trip it."""
+    timeout = max(4.0 * baseline_duration, 0.05)
+    return CoordinatorConfig(
+        exec_timeout=timeout,
+        watch_interval=timeout / 4.0,
+        max_restarts=3,
+        fine_grained_recovery=True,
+    )
+
+
+def chaos_check(
+    graph: PropertyGraph,
+    query: Union[GTravel, TraversalPlan],
+    *,
+    seed: int,
+    engine: Union[EngineKind, EngineOptions] = EngineKind.GRAPHTREK,
+    nservers: int = 3,
+    crash: bool = False,
+    coordinator_config: Optional[CoordinatorConfig] = None,
+    reliable: bool = True,
+    max_drop: float = 0.12,
+    max_duplicate: float = 0.10,
+) -> ChaosOutcome:
+    """Run the differential check for one sampled fault plan.
+
+    ``crash=True`` additionally schedules one mid-traversal server crash,
+    with the crash window placed inside the fault-free run's duration so the
+    crash lands while work is in flight.
+    """
+    baseline, duration = run_fault_free(graph, query, engine=engine, nservers=nservers)
+    crash_window = (0.2 * duration, 3.0 * duration) if crash else None
+    plan = sample_fault_plan(
+        seed,
+        nservers=nservers,
+        max_drop=max_drop,
+        max_duplicate=max_duplicate,
+        crash_window=crash_window,
+    )
+    cc = coordinator_config or chaos_coordinator_config(duration)
+    faulty, error, counters = run_under_faults(
+        graph,
+        query,
+        plan,
+        engine=engine,
+        nservers=nservers,
+        coordinator_config=cc,
+        reliable=reliable,
+    )
+    return ChaosOutcome(
+        seed=seed,
+        plan=plan,
+        baseline=baseline,
+        faulty=faulty,
+        matched=faulty is not None and faulty == baseline,
+        failed_cleanly=faulty is None and error is not None,
+        error=error,
+        baseline_duration=duration,
+        net_counters=counters,
+    )

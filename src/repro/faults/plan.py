@@ -1,0 +1,151 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` states *what the network and the servers may do wrong*:
+per-message-type probabilities for dropping, duplicating, and delaying
+messages on the wire, plus scheduled server crash/recovery events. The plan
+itself is pure data; :meth:`FaultPlan.injector` compiles it into a
+:class:`~repro.faults.inject.FaultInjector` that turns the plan into
+deterministic per-message decisions (same seed + same message stream →
+identical decisions, the same contract the simulation kernel keeps).
+
+Message-type keys are class names from :mod:`repro.net.message`
+(``"TraverseRequest"``, ``"ExecStatus"``, ...) plus ``"Ack"`` for the
+reliable channel's acknowledgement frames. When the reliable transport is
+installed, faults apply to the *frames* on the wire — the payload's type
+name is used — so a dropped dispatch is something the channel can recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.ids import ServerId
+from repro.sim.rng import derive_seed
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Wire-fault probabilities for one message type.
+
+    ``reorder`` adds a uniformly drawn extra delay in ``[0, reorder_window]``
+    seconds, which lets later messages overtake earlier ones — the reordering
+    fault the engines must tolerate.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.005
+    reorder: float = 0.0
+    reorder_window: float = 0.002
+
+    def validate(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(f"fault probability {name}={p} not in [0, 1]")
+        if self.delay_seconds < 0 or self.reorder_window < 0:
+            raise SimulationError("fault delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled server crash: at virtual time ``at`` the server loses
+    its in-memory state (frontier, queues, caches, transport bookkeeping —
+    LSM storage survives); at ``recover_at`` it rejoins with empty memory.
+    ``recover_at = inf`` means the server never comes back."""
+
+    server: ServerId
+    at: float
+    recover_at: float = float("inf")
+
+    def validate(self, nservers: int, coordinator_server: ServerId) -> None:
+        if not 0 <= self.server < nservers:
+            raise SimulationError(f"crash server {self.server} out of range")
+        if self.server == coordinator_server:
+            raise SimulationError(
+                "cannot crash the coordinator-hosting server: the coordinator "
+                "actor is the client's always-up representative (paper §IV-A)"
+            )
+        if self.at < 0 or self.recover_at <= self.at:
+            raise SimulationError(
+                f"crash window [{self.at}, {self.recover_at}) is not ordered"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded fault scenario: wire faults plus scheduled crashes."""
+
+    seed: int = 0
+    default: FaultSpec = field(default_factory=FaultSpec)
+    #: overrides keyed by message-type name (see module docstring)
+    per_type: Mapping[str, FaultSpec] = field(default_factory=dict)
+    crashes: tuple[CrashEvent, ...] = ()
+
+    def spec_for(self, type_name: str) -> FaultSpec:
+        return self.per_type.get(type_name, self.default)
+
+    def validate(self, nservers: int, coordinator_server: ServerId = 0) -> None:
+        self.default.validate()
+        for spec in self.per_type.values():
+            spec.validate()
+        for ev in self.crashes:
+            ev.validate(nservers, coordinator_server)
+
+    def injector(self) -> "FaultInjector":
+        from repro.faults.inject import FaultInjector
+
+        return FaultInjector(self)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+
+def sample_fault_plan(
+    seed: int,
+    *,
+    nservers: int = 3,
+    coordinator_server: ServerId = 0,
+    max_drop: float = 0.12,
+    max_duplicate: float = 0.10,
+    max_delay: float = 0.20,
+    crash_window: Optional[tuple[float, float]] = None,
+    crash_servers: Optional[Sequence[ServerId]] = None,
+) -> FaultPlan:
+    """Draw a random-but-reproducible fault plan for the chaos harness.
+
+    Probabilities are sampled uniformly below the given caps; when
+    ``crash_window=(lo, hi)`` is given, one mid-traversal crash is scheduled
+    on a non-coordinator server with a recovery inside the window.
+    """
+    rng = np.random.default_rng(derive_seed(seed, "faults.sample"))
+    default = FaultSpec(
+        drop=float(rng.uniform(0.0, max_drop)),
+        duplicate=float(rng.uniform(0.0, max_duplicate)),
+        delay=float(rng.uniform(0.0, max_delay)),
+        delay_seconds=float(rng.uniform(0.001, 0.01)),
+        reorder=float(rng.uniform(0.0, max_delay)),
+        reorder_window=float(rng.uniform(0.0005, 0.005)),
+    )
+    crashes: tuple[CrashEvent, ...] = ()
+    if crash_window is not None:
+        lo, hi = crash_window
+        candidates = [
+            s
+            for s in (crash_servers if crash_servers is not None else range(nservers))
+            if s != coordinator_server
+        ]
+        if not candidates:
+            raise SimulationError("no crashable server outside the coordinator")
+        victim = candidates[int(rng.integers(0, len(candidates)))]
+        at = float(rng.uniform(lo, lo + 0.5 * (hi - lo)))
+        recover_at = float(rng.uniform(at + 0.25 * (hi - lo), hi))
+        crashes = (CrashEvent(server=victim, at=at, recover_at=recover_at),)
+    plan = FaultPlan(seed=seed, default=default, crashes=crashes)
+    plan.validate(nservers, coordinator_server)
+    return plan

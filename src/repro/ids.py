@@ -17,6 +17,12 @@ ServerId = int
 TravelId = int
 ExecId = int
 
+#: Typed destination sentinel for the coordinator actor. The coordinator is
+#: not a backend server: it is addressed out-of-band (it lives on
+#: ``coordinator_server`` but has its own handler), so delivery paths and
+#: fault filters use this constant instead of a bare ``-1``.
+COORDINATOR: ServerId = -1
+
 
 class IdAllocator:
     """Monotonic id allocator with an optional starting value.

@@ -13,9 +13,14 @@ from repro.net.message import (
     TraverseRequest,
     entries_nbytes,
 )
+from repro.net.reliable import AckFrame, DataFrame, ReliableChannel, ReliableConfig
 from repro.net.topology import ETHERNET_10G, INFINIBAND_QDR, NetworkModel
 
 __all__ = [
+    "AckFrame",
+    "DataFrame",
+    "ReliableChannel",
+    "ReliableConfig",
     "Anchors",
     "Entries",
     "ExecStatus",

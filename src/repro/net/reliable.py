@@ -1,0 +1,291 @@
+"""Reliable at-least-once transport over the unreliable wire.
+
+The raw runtimes deliver every message exactly once; with a fault plan
+installed they drop, duplicate, delay, and reorder — and crashed servers eat
+traffic silently. :class:`ReliableChannel` restores usable semantics the way
+TCP does over IP:
+
+* every payload is wrapped in a :class:`DataFrame` with a globally unique
+  ``seq`` and retransmitted on a seeded exponential backoff (+/- jitter)
+  until the receiver's :class:`AckFrame` arrives or ``max_retries`` is
+  exhausted;
+* a bounded per-link in-flight window throttles senders, so a dead receiver
+  cannot absorb unbounded retransmission state;
+* the receiver deduplicates on ``(travel_id, attempt, seq)`` before handing
+  the payload to the engine/coordinator handler — so the layers above see
+  *effectively-once* delivery and whole-traversal restarts become the last
+  resort (paper §IV-C) instead of the answer to a single lost RPC;
+* retry exhaustion invokes ``on_delivery_failure`` — the missed-ack signal
+  the coordinator uses to suspect a server crash and trigger fine-grained
+  replay of only the executions placed on it.
+
+Installed via :meth:`repro.runtime.base.Runtime.install_channel`, which
+re-points the registered handlers at the channel's frame handlers; engines
+and the coordinator are untouched. All channel bookkeeping is out-of-band
+(costs no simulated time); only frames on the wire pay network latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.ids import COORDINATOR, ServerId, TravelId
+from repro.net.message import Message
+from repro.sim.rng import derive_seed
+
+_FRAME_OVERHEAD = 16  # seq + framing on top of the payload's wire size
+
+
+@dataclass
+class DataFrame(Message):
+    """One transmission attempt of ``payload`` from ``src`` to ``dst``."""
+
+    seq: int = 0
+    src: ServerId = -1
+    dst: ServerId = -1
+    payload: Optional[Message] = None
+
+    @property
+    def nbytes(self) -> int:
+        return _FRAME_OVERHEAD + (self.payload.nbytes if self.payload else 0)
+
+
+@dataclass
+class AckFrame(Message):
+    """Receiver's acknowledgement of one ``seq``."""
+
+    seq: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return _FRAME_OVERHEAD
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Ack/retry policy, in virtual seconds."""
+
+    ack_timeout: float = 0.002  # before the first retransmission
+    backoff: float = 2.0
+    jitter: float = 0.25  # +/- fraction, drawn from the seeded stream
+    max_retries: int = 8
+    window: int = 32  # per-(src, dst) unacked frames
+
+
+@dataclass
+class _InFlight:
+    """Sender-side state of one unacked payload."""
+
+    seq: int
+    src: ServerId
+    dst: ServerId
+    payload: Message
+    frame: DataFrame
+    attempts: int = 0
+    retry_span: int = 0
+
+    @property
+    def link(self) -> tuple[ServerId, ServerId]:
+        return (self.src, self.dst)
+
+
+class ReliableChannel:
+    """At-least-once sender/receiver state for one cluster."""
+
+    def __init__(
+        self,
+        runtime,
+        *,
+        config: Optional[ReliableConfig] = None,
+        metrics=None,
+        spans=None,
+        seed: int = 0,
+    ):
+        self.runtime = runtime
+        self.config = config or ReliableConfig()
+        self.metrics = metrics
+        self.spans = spans
+        self._rng = np.random.default_rng(derive_seed(seed, "net.reliable"))
+        self._seq = itertools.count(1)
+        self._inflight: dict[int, _InFlight] = {}
+        self._queued: dict[tuple[ServerId, ServerId], deque] = {}
+        self._link_inflight: dict[tuple[ServerId, ServerId], int] = {}
+        #: receiver address -> travel id -> {(attempt, seq), ...}
+        self._seen: dict[ServerId, dict[TravelId, set]] = {}
+        self._upper: dict[ServerId, Callable[[Message], None]] = {}
+        self._upper_coord: Optional[Callable[[Message], None]] = None
+        self._lock = threading.RLock()
+        #: invoked as ``fn(src, dst, payload)`` when retries are exhausted
+        self.on_delivery_failure: Optional[Callable[..., None]] = None
+
+    # -- wiring (called by Runtime.install_channel) -------------------------
+
+    def attach(self, runtime, upper_handlers, upper_coordinator) -> None:
+        self.runtime = runtime
+        self._upper = dict(upper_handlers)
+        self._upper_coord = upper_coordinator
+
+    def server_frame_handler(self, server_id: ServerId):
+        def handle(msg: Message) -> None:
+            if isinstance(msg, AckFrame):
+                self._on_ack(msg)
+            elif isinstance(msg, DataFrame):
+                self._on_data(server_id, msg)
+            else:  # raw message injected below the channel (tests)
+                self._upper[server_id](msg)
+
+        return handle
+
+    def coordinator_frame_handler(self, msg: Message) -> None:
+        if isinstance(msg, AckFrame):  # pragma: no cover - acks go to servers
+            self._on_ack(msg)
+        elif isinstance(msg, DataFrame):
+            self._on_data(COORDINATOR, msg)
+        else:
+            self._upper_coord(msg)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, src: ServerId, dst: ServerId, payload: Message) -> None:
+        """Queue one payload for reliable delivery (``dst`` may be
+        :data:`~repro.ids.COORDINATOR`)."""
+        with self._lock:
+            seq = next(self._seq)
+            frame = DataFrame(payload.travel_id, seq=seq, src=src, dst=dst, payload=payload)
+            entry = _InFlight(seq=seq, src=src, dst=dst, payload=payload, frame=frame)
+            self._count("net.sends", type=type(payload).__name__)
+            link = entry.link
+            if self._link_inflight.get(link, 0) >= self.config.window:
+                self._queued.setdefault(link, deque()).append(entry)
+                self._count("net.window_stalls")
+                return
+            self._admit(entry)
+
+    def _admit(self, entry: _InFlight) -> None:
+        link = entry.link
+        self._inflight[entry.seq] = entry
+        self._link_inflight[link] = self._link_inflight.get(link, 0) + 1
+        self._transmit(entry)
+
+    def _transmit(self, entry: _InFlight) -> None:
+        entry.attempts += 1
+        if entry.dst == COORDINATOR:
+            self.runtime.raw_deliver_to_coordinator(entry.src, entry.frame)
+        else:
+            self.runtime.raw_deliver(entry.src, entry.dst, entry.frame)
+        timeout = self.config.ack_timeout * (self.config.backoff ** (entry.attempts - 1))
+        u = float(self._rng.uniform())
+        timeout *= 1.0 + self.config.jitter * (2.0 * u - 1.0)
+        expected = entry.attempts
+        self.runtime.schedule(timeout, lambda: self._on_timeout(entry.seq, expected))
+
+    def _on_timeout(self, seq: int, expected_attempts: int) -> None:
+        failed: Optional[_InFlight] = None
+        with self._lock:
+            entry = self._inflight.get(seq)
+            if entry is None or entry.attempts != expected_attempts:
+                return  # acked, lost to a crash, or superseded by a retry
+            if entry.attempts > self.config.max_retries:
+                self._release(entry)
+                self._count("net.delivery_failed", dst=entry.dst)
+                if self.spans is not None and entry.retry_span:
+                    self.spans.end(
+                        entry.retry_span, outcome="failed", retries=entry.attempts - 1
+                    )
+                failed = entry
+            else:
+                self._count("net.retries", type=type(entry.payload).__name__)
+                if self.spans is not None and entry.retry_span == 0:
+                    entry.retry_span = self.spans.begin(
+                        "retry",
+                        f"seq{entry.seq}",
+                        type=type(entry.payload).__name__,
+                        src=entry.src,
+                        dst=entry.dst,
+                    )
+                self._transmit(entry)
+        # The failure callback runs OUTSIDE the channel lock: on the threaded
+        # runtime it takes the coordinator's server lock, and a trampoline
+        # holding a server lock may concurrently be waiting on the channel
+        # lock in send() — invoking under the lock would deadlock.
+        if failed is not None and self.on_delivery_failure is not None:
+            self.on_delivery_failure(failed.src, failed.dst, failed.payload)
+
+    def _release(self, entry: _InFlight) -> None:
+        """Remove from in-flight and pump the freed window slot."""
+        self._inflight.pop(entry.seq, None)
+        link = entry.link
+        self._link_inflight[link] = max(0, self._link_inflight.get(link, 1) - 1)
+        q = self._queued.get(link)
+        while q and self._link_inflight[link] < self.config.window:
+            self._admit(q.popleft())
+
+    # -- receiving ----------------------------------------------------------
+
+    def _on_ack(self, ack: AckFrame) -> None:
+        with self._lock:
+            entry = self._inflight.get(ack.seq)
+            if entry is None:
+                return  # duplicate ack, or sender state lost to a crash
+            self._count("net.acks")
+            if self.spans is not None and entry.retry_span:
+                self.spans.end(entry.retry_span, outcome="ok", retries=entry.attempts - 1)
+            self._release(entry)
+
+    def _on_data(self, addr: ServerId, frame: DataFrame) -> None:
+        # Always (re-)ack: the previous ack may itself have been lost.
+        ack_src = self.runtime.coordinator_server if addr == COORDINATOR else addr
+        self.runtime.raw_deliver(ack_src, frame.src, AckFrame(frame.travel_id, seq=frame.seq))
+        payload = frame.payload
+        key = (getattr(payload, "attempt", 0), frame.seq)
+        with self._lock:
+            seen = self._seen.setdefault(addr, {}).setdefault(frame.travel_id, set())
+            if key in seen:
+                self._count("net.dup_suppressed", type=type(payload).__name__)
+                return
+            seen.add(key)
+            handler = self._upper_coord if addr == COORDINATOR else self._upper[addr]
+        handler(payload)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_server_crash(self, server: ServerId) -> None:
+        """A crashed server loses its transport bookkeeping: unacked sends
+        it originated stop retrying, and its receiver dedup set is cleared
+        (retransmissions after recovery are re-delivered; the engines'
+        idempotent replay handling absorbs them)."""
+        with self._lock:
+            self._seen.pop(server, None)
+            lost = [e for e in self._inflight.values() if e.src == server]
+            for entry in lost:
+                if self.spans is not None and entry.retry_span:
+                    self.spans.end(entry.retry_span, outcome="crashed", retries=entry.attempts - 1)
+                self._inflight.pop(entry.seq, None)
+                link = entry.link
+                self._link_inflight[link] = max(0, self._link_inflight.get(link, 1) - 1)
+            if lost:
+                self._count("net.inflight_lost", len(lost), server=server)
+            for link in [l for l in self._queued if l[0] == server]:
+                del self._queued[link]
+
+    def forget_travel(self, travel_id: TravelId) -> None:
+        """Prune receiver dedup state once a traversal completes."""
+        with self._lock:
+            for per_travel in self._seen.values():
+                per_travel.pop(travel_id, None)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def _count(self, name: str, n: float = 1, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name, n, **labels)

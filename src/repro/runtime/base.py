@@ -18,9 +18,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Optional, Protocol
 
-from repro.ids import ServerId
+from repro.ids import COORDINATOR, ServerId
+from repro.faults.inject import CLEAN, FaultDecision, payload_type_name
 from repro.net.message import Message
 from repro.storage.costmodel import IOCost
+
+_DROP = FaultDecision(drop=True)
 
 
 class InterferencePolicy(Protocol):
@@ -94,12 +97,132 @@ class ServerContext(ABC):
 
 
 class Runtime(ABC):
-    """Factory for server contexts plus message routing."""
+    """Factory for server contexts plus message routing.
+
+    The base class carries the wire-fault machinery shared by both concrete
+    runtimes: an optional :class:`~repro.faults.plan.FaultPlan` (single
+    injection point, superseding the raw ``drop_filter`` hook), the set of
+    currently crashed servers, and the optional
+    :class:`~repro.net.reliable.ReliableChannel` that interposes on every
+    ``deliver`` call. Subclasses provide the clock (:meth:`schedule`) and
+    the raw one-shot delivery primitives.
+    """
 
     nservers: int
+    coordinator_server: ServerId = 0
+    #: legacy escape hatch: ``fn(src, dst, msg) -> True`` to swallow a message
+    drop_filter: Optional[Callable[..., bool]] = None
+    metrics = None  # bound MetricsRegistry, or None
+    channel = None  # installed ReliableChannel, or None
+    fault_plan = None
+    fault_injector = None
+    messages_dropped: int = 0
 
     @abstractmethod
     def context(self, server_id: ServerId) -> ServerContext: ...
+
+    # -- faults and reliability -------------------------------------------
+
+    @abstractmethod
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` runtime seconds (best effort; used
+        for fault events and transport retries, never for engine work)."""
+
+    def bind_metrics(self, metrics) -> None:
+        """Route ``net.*``/``faults.*`` counters to a metrics registry."""
+        self.metrics = metrics
+
+    def install_faults(self, plan) -> None:
+        """Make ``plan`` the single fault-injection point for this runtime
+        and schedule its crash/recovery events on the runtime clock."""
+        plan.validate(self.nservers, self.coordinator_server)
+        self.fault_plan = plan
+        self.fault_injector = plan.injector()
+        for ev in plan.crashes:
+            self.schedule(ev.at, lambda s=ev.server: self.crash_server(s))
+            if ev.recover_at != float("inf"):
+                self.schedule(ev.recover_at, lambda s=ev.server: self.recover_server(s))
+
+    def install_channel(self, channel) -> None:
+        """Interpose a reliable channel between ``deliver`` and the wire.
+
+        Must run after all handlers are registered: the channel captures the
+        current handlers as its upper layer and replaces them with its frame
+        handlers.
+        """
+        if self.channel is not None:
+            from repro.errors import SimulationError
+
+            raise SimulationError("a reliable channel is already installed")
+        self.channel = channel
+        channel.attach(self, dict(self._handlers), self._coordinator_handler)
+        for sid in list(self._handlers):
+            self._handlers[sid] = channel.server_frame_handler(sid)
+        self._coordinator_handler = channel.coordinator_frame_handler
+        self.add_crash_listener(channel.on_server_crash)
+
+    # -- crash model --------------------------------------------------------
+
+    def _init_fault_state(self) -> None:
+        """Called from subclass ``__init__``: per-instance crash bookkeeping."""
+        self._down: set[ServerId] = set()
+        self._crash_listeners: list[Callable[[ServerId], None]] = []
+        self._recovery_listeners: list[Callable[[ServerId], None]] = []
+
+    def add_crash_listener(self, fn: Callable[[ServerId], None]) -> None:
+        self._crash_listeners.append(fn)
+
+    def add_recovery_listener(self, fn: Callable[[ServerId], None]) -> None:
+        self._recovery_listeners.append(fn)
+
+    def is_down(self, server: ServerId) -> bool:
+        return server in self._down
+
+    def crash_server(self, server: ServerId) -> None:
+        """Crash ``server``: in-memory state is lost (listeners clear engine
+        and transport state), wire traffic to/from it is silently dropped."""
+        if server in self._down:
+            return
+        self._down.add(server)
+        self._count("faults.crashes", server=server)
+        for fn in self._crash_listeners:
+            fn(server)
+
+    def recover_server(self, server: ServerId) -> None:
+        """Rejoin ``server`` with empty memory (LSM storage survived)."""
+        if server not in self._down:
+            return
+        self._down.discard(server)
+        self._count("faults.recoveries", server=server)
+        for fn in self._recovery_listeners:
+            fn(server)
+
+    # -- wire verdicts ------------------------------------------------------
+
+    def _wire_verdict(self, src: ServerId, dst: ServerId, msg: Message):
+        """Decide what the wire does to one delivery: a FaultDecision whose
+        ``drop`` covers crashed endpoints, the legacy ``drop_filter``, and
+        the installed fault plan. Every drop is counted (``net.dropped``)."""
+        if self.is_down(src) or (dst != COORDINATOR and self.is_down(dst)):
+            self._note_drop(msg, "down")
+            return _DROP
+        if self.drop_filter is not None and self.drop_filter(src, dst, msg):
+            self._note_drop(msg, "filter")
+            return _DROP
+        if self.fault_injector is not None:
+            decision = self.fault_injector.decide(src, dst, msg)
+            if decision.drop:
+                self._note_drop(msg, "fault")
+            return decision
+        return CLEAN
+
+    def _note_drop(self, msg: Message, reason: str) -> None:
+        self.messages_dropped += 1
+        self._count("net.dropped", type=payload_type_name(msg), reason=reason)
+
+    def _count(self, name: str, n: float = 1, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name, n, **labels)
 
     @abstractmethod
     def register_handler(

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.ids import ServerId
+from repro.ids import COORDINATOR, ServerId
 from repro.net.message import Message
 from repro.net.topology import INFINIBAND_QDR, NetworkModel
 from repro.runtime.base import InterferencePolicy, Runtime, ServerContext
@@ -102,10 +102,13 @@ class SimRuntime(Runtime):
         ]
         self._handlers: dict[ServerId, Callable[[Message], None]] = {}
         self._coordinator_handler: Optional[Callable[[Message], None]] = None
-        #: optional fault injection: return True to silently drop a message
+        #: legacy fault injection: return True to silently drop a message
+        #: (prefer ``install_faults`` with a FaultPlan)
         self.drop_filter: Optional[Callable[[ServerId, ServerId, Message], bool]] = None
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
+        self._init_fault_state()
 
     # -- wiring ------------------------------------------------------------
 
@@ -122,28 +125,57 @@ class SimRuntime(Runtime):
 
     # -- message delivery -------------------------------------------------------
 
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        self.sim.schedule(delay, fn)
+
     def deliver(self, src: ServerId, dst: ServerId, msg: Message) -> None:
-        if self.drop_filter is not None and self.drop_filter(src, dst, msg):
+        if self.channel is not None:
+            self.channel.send(src, dst, msg)
             return
-        handler = self._handlers.get(dst)
-        if handler is None:
-            raise SimulationError(f"no handler registered for server {dst}")
-        self.messages_sent += 1
-        self.bytes_sent += msg.nbytes
-        delay = self.network.latency(src, dst, msg.nbytes)
-        self.sim.schedule(delay, lambda: handler(msg))
+        self.raw_deliver(src, dst, msg)
 
     def deliver_to_coordinator(self, src: ServerId, msg: Message) -> None:
         if self._coordinator_handler is None:
             raise SimulationError("no coordinator registered")
-        if self.drop_filter is not None and self.drop_filter(src, -1, msg):
+        if self.channel is not None:
+            self.channel.send(src, COORDINATOR, msg)
             return
-        self.messages_sent += 1
-        self.bytes_sent += msg.nbytes
-        coord_server = getattr(self, "coordinator_server", 0)
-        delay = self.network.latency(src, coord_server, msg.nbytes)
-        handler = self._coordinator_handler
+        self.raw_deliver_to_coordinator(src, msg)
+
+    def raw_deliver(self, src: ServerId, dst: ServerId, msg: Message) -> None:
+        """One-shot delivery over the (faulty) wire; the channel's transport."""
+        verdict = self._wire_verdict(src, dst, msg)
+        if verdict.drop:
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise SimulationError(f"no handler registered for server {dst}")
+        delay = self.network.latency(src, dst, msg.nbytes) + verdict.extra_delay
+        self._schedule_arrivals(handler, msg, delay, verdict)
+
+    def raw_deliver_to_coordinator(self, src: ServerId, msg: Message) -> None:
+        if self._coordinator_handler is None:
+            raise SimulationError("no coordinator registered")
+        verdict = self._wire_verdict(src, COORDINATOR, msg)
+        if verdict.drop:
+            return
+        delay = (
+            self.network.latency(src, self.coordinator_server, msg.nbytes)
+            + verdict.extra_delay
+        )
+        self._schedule_arrivals(self._coordinator_handler, msg, delay, verdict)
+
+    def _schedule_arrivals(self, handler, msg: Message, delay: float, verdict) -> None:
+        copies = 1 + verdict.duplicates
+        self.messages_sent += copies
+        self.bytes_sent += msg.nbytes * copies
         self.sim.schedule(delay, lambda: handler(msg))
+        for i in range(verdict.duplicates):
+            self._count("faults.duplicated")
+            self.sim.schedule(
+                delay + (i + 1) * max(verdict.dup_spacing, 1e-6),
+                lambda: handler(msg),
+            )
 
     # -- disk ----------------------------------------------------------------------
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import RuntimeUnavailable, SimulationError
-from repro.ids import ServerId
+from repro.ids import COORDINATOR, ServerId
 from repro.net.message import Message
 from repro.net.topology import INFINIBAND_QDR, NetworkModel
 from repro.runtime.base import InterferencePolicy, Runtime, ServerContext
@@ -183,9 +183,12 @@ class ThreadRuntime(Runtime):
         self._shutdown = threading.Event()
         self.drop_filter: Optional[Callable[[ServerId, ServerId, Message], bool]] = None
         self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_dropped = 0
         self._count_lock = threading.Lock()
         self._intf_lock = threading.Lock()
         self._proc_ids = itertools.count()
+        self._init_fault_state()
 
     # -- wiring ---------------------------------------------------------------
 
@@ -256,33 +259,80 @@ class ThreadRuntime(Runtime):
         with lock:
             handler(msg)
 
-    def deliver(self, src: ServerId, dst: ServerId, msg: Message) -> None:
-        if self.drop_filter is not None and self.drop_filter(src, dst, msg):
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if self._shutdown.is_set():
             return
-        handler = self._handlers.get(dst)
-        if handler is None:
-            raise SimulationError(f"no handler registered for server {dst}")
-        with self._count_lock:
-            self.messages_sent += 1
-        delay = self.network.latency(src, dst, msg.nbytes) * self.time_scale
-        timer = threading.Timer(delay, self._dispatch, args=(dst, handler, msg))
+        timer = threading.Timer(max(0.0, delay) * self.time_scale, fn)
         timer.daemon = True
         timer.start()
+
+    def deliver(self, src: ServerId, dst: ServerId, msg: Message) -> None:
+        if self.channel is not None:
+            self.channel.send(src, dst, msg)
+            return
+        self.raw_deliver(src, dst, msg)
 
     def deliver_to_coordinator(self, src: ServerId, msg: Message) -> None:
         if self._coordinator_handler is None:
             raise SimulationError("no coordinator registered")
-        if self.drop_filter is not None and self.drop_filter(src, -1, msg):
+        if self.channel is not None:
+            self.channel.send(src, COORDINATOR, msg)
+            return
+        self.raw_deliver_to_coordinator(src, msg)
+
+    def raw_deliver(self, src: ServerId, dst: ServerId, msg: Message) -> None:
+        """One-shot delivery over the (faulty) wire; the channel's transport."""
+        if self._shutdown.is_set():
             return
         with self._count_lock:
-            self.messages_sent += 1
+            verdict = self._wire_verdict(src, dst, msg)
+        if verdict.drop:
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise SimulationError(f"no handler registered for server {dst}")
+        delay = self.network.latency(src, dst, msg.nbytes) + verdict.extra_delay
+        self._schedule_arrivals(dst, handler, msg, delay, verdict)
+
+    def raw_deliver_to_coordinator(self, src: ServerId, msg: Message) -> None:
+        if self._coordinator_handler is None:
+            raise SimulationError("no coordinator registered")
+        if self._shutdown.is_set():
+            return
+        with self._count_lock:
+            verdict = self._wire_verdict(src, COORDINATOR, msg)
+        if verdict.drop:
+            return
         dst = self.coordinator_server
-        delay = self.network.latency(src, dst, msg.nbytes) * self.time_scale
-        timer = threading.Timer(
-            delay, self._dispatch, args=(dst, self._coordinator_handler, msg)
+        delay = (
+            self.network.latency(src, dst, msg.nbytes) + verdict.extra_delay
         )
-        timer.daemon = True
-        timer.start()
+        self._schedule_arrivals(dst, self._coordinator_handler, msg, delay, verdict)
+
+    def _schedule_arrivals(
+        self, dst: ServerId, handler, msg: Message, delay: float, verdict
+    ) -> None:
+        copies = 1 + verdict.duplicates
+        with self._count_lock:
+            self.messages_sent += copies
+            self.bytes_sent += msg.nbytes * copies
+        self.schedule(delay, lambda: self._dispatch(dst, handler, msg))
+        for i in range(verdict.duplicates):
+            self._count("faults.duplicated")
+            self.schedule(
+                delay + (i + 1) * max(verdict.dup_spacing, 1e-6),
+                lambda: self._dispatch(dst, handler, msg),
+            )
+
+    # -- crash model -------------------------------------------------------------------
+
+    def crash_server(self, server: ServerId) -> None:
+        with self._locks[server]:
+            super().crash_server(server)
+
+    def recover_server(self, server: ServerId) -> None:
+        with self._locks[server]:
+            super().recover_server(server)
 
     # -- driving -----------------------------------------------------------------------
 

@@ -27,3 +27,27 @@ def test_single_cheap_experiment_runs(capsys, monkeypatch, tmp_path):
     assert "Table II" in out
     assert "[PASS]" in out
     assert code in (0, 1)  # checks may be scale-sensitive; must not crash
+
+
+def test_chaos_knobs_reach_the_experiment(capsys, monkeypatch):
+    """--fault-plan/--exec-timeout/--max-restarts flow into exp_chaos, and
+    naming no experiment while passing a fault knob implies 'chaos'."""
+    from repro.bench.experiments import ExperimentResult
+
+    calls = []
+
+    def fake_chaos(env, **kwargs):
+        calls.append(kwargs)
+        return ExperimentResult("chaos", [], "stub", [])
+
+    monkeypatch.setattr("repro.bench.experiments.exp_chaos", fake_chaos)
+    monkeypatch.setattr("repro.bench.__main__.save_results",
+                        lambda name, payload: f"/dev/null/{name}.json")
+    code = main(["--fault-plan", "11", "--exec-timeout", "0.5", "--max-restarts", "2"])
+    assert code == 0
+    assert calls == [{"fault_seed": 11, "exec_timeout": 0.5, "max_restarts": 2}]
+    assert "chaos" in capsys.readouterr().out
+
+
+def test_chaos_registered():
+    assert "chaos" in EXPERIMENTS

@@ -12,6 +12,7 @@ from repro.cluster import (
 )
 from repro.engine import EngineKind, ReferenceEngine
 from repro.errors import TraversalFailed
+from repro.ids import COORDINATOR
 from repro.lang import GTravel
 from repro.net.message import TraverseRequest
 from tests.conftest import ALL_ENGINES
@@ -79,7 +80,12 @@ def test_sync_engine_restart_after_lost_batch(metadata_graph):
 
     def drop_one(src, dst, msg):
         from repro.net.message import SyncBatch
-        if isinstance(msg, SyncBatch) and msg.attempt == 0 and not dropped and src != -1:
+        if (
+            isinstance(msg, SyncBatch)
+            and msg.attempt == 0
+            and not dropped
+            and src != COORDINATOR
+        ):
             dropped.append(msg)
             return True
         return False

@@ -1,0 +1,182 @@
+"""Channel-level tests for the at-least-once reliable transport."""
+
+import pytest
+
+from repro.ids import COORDINATOR
+from repro.net.message import ExecStatus, TraverseRequest
+from repro.net.reliable import AckFrame, DataFrame, ReliableChannel, ReliableConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.simulated import SimRuntime
+
+
+def make_runtime(nservers=2):
+    runtime = SimRuntime(nservers)
+    inboxes = {s: [] for s in range(nservers)}
+    coord_inbox = []
+    for s in range(nservers):
+        runtime.register_handler(s, lambda m, s=s: inboxes[s].append(m))
+    runtime.register_coordinator(coord_inbox.append)
+    return runtime, inboxes, coord_inbox
+
+
+def install(runtime, **cfg):
+    metrics = MetricsRegistry()
+    channel = ReliableChannel(
+        runtime, config=ReliableConfig(**cfg), metrics=metrics, seed=1
+    )
+    runtime.install_channel(channel)
+    return channel, metrics
+
+
+def drain(runtime, until=1.0):
+    """Run the simulator clock forward so retries/acks can fire."""
+    ev = runtime.sim.event("drain")
+    runtime.sim.schedule(until, ev.succeed)
+    runtime.sim.run_until(ev)
+
+
+def payload(travel_id=1):
+    return ExecStatus(travel_id, exec_id=1, server=0, created=(), results_sent=0)
+
+
+def test_clean_wire_delivers_once_with_ack():
+    runtime, inboxes, _ = make_runtime()
+    channel, metrics = install(runtime)
+    runtime.deliver(0, 1, payload())
+    drain(runtime)
+    assert len(inboxes[1]) == 1
+    assert isinstance(inboxes[1][0], ExecStatus)
+    counters = metrics.snapshot()["counters"]
+    assert counters["net.acks"] == 1
+    assert "net.retries{type=ExecStatus}" not in counters
+    assert channel.inflight_count == 0
+
+
+def test_dropped_frame_is_retried_until_delivered():
+    runtime, inboxes, _ = make_runtime()
+    channel, metrics = install(runtime)
+    state = {"dropped": 0}
+
+    def drop_first_two(src, dst, msg):
+        if isinstance(msg, DataFrame) and state["dropped"] < 2:
+            state["dropped"] += 1
+            return True
+        return False
+
+    runtime.drop_filter = drop_first_two
+    runtime.deliver(0, 1, payload())
+    drain(runtime)
+    assert len(inboxes[1]) == 1  # delivered despite two wire losses
+    counters = metrics.snapshot()["counters"]
+    assert counters["net.retries{type=ExecStatus}"] == 2
+    assert counters["net.acks"] == 1
+
+
+def test_lost_ack_causes_retransmit_but_dedup_suppresses():
+    runtime, inboxes, _ = make_runtime()
+    channel, metrics = install(runtime)
+    state = {"dropped": 0}
+
+    def drop_first_ack(src, dst, msg):
+        if isinstance(msg, AckFrame) and state["dropped"] == 0:
+            state["dropped"] += 1
+            return True
+        return False
+
+    runtime.drop_filter = drop_first_ack
+    runtime.deliver(0, 1, payload())
+    drain(runtime)
+    # The receiver saw the frame twice but the engine handler only once.
+    assert len(inboxes[1]) == 1
+    counters = metrics.snapshot()["counters"]
+    assert counters["net.dup_suppressed{type=ExecStatus}"] == 1
+
+
+def test_retry_exhaustion_reports_delivery_failure():
+    runtime, inboxes, _ = make_runtime()
+    channel, metrics = install(runtime, max_retries=2, ack_timeout=0.001)
+    failures = []
+    channel.on_delivery_failure = lambda src, dst, p: failures.append((src, dst, p))
+    runtime.drop_filter = lambda src, dst, msg: isinstance(msg, DataFrame) and dst == 1
+    msg = payload()
+    runtime.deliver(0, 1, msg)
+    drain(runtime)
+    assert failures == [(0, 1, msg)]
+    assert inboxes[1] == []
+    counters = metrics.snapshot()["counters"]
+    assert counters["net.delivery_failed{dst=1}"] == 1
+    assert counters["net.retries{type=ExecStatus}"] == 2
+    assert channel.inflight_count == 0
+
+
+def test_window_bounds_inflight_and_drains_in_order():
+    runtime, inboxes, _ = make_runtime()
+    channel, metrics = install(runtime, window=1)
+    msgs = [
+        TraverseRequest(1, level=i, entries={}, exec_id=i, from_server=0)
+        for i in range(4)
+    ]
+    for m in msgs:
+        runtime.deliver(0, 1, m)
+    assert channel.inflight_count == 1  # rest are queued behind the window
+    drain(runtime)
+    assert [m.level for m in inboxes[1]] == [0, 1, 2, 3]
+    counters = metrics.snapshot()["counters"]
+    assert counters["net.window_stalls"] == 3
+
+
+def test_coordinator_destination_roundtrip():
+    runtime, _, coord_inbox = make_runtime()
+    channel, metrics = install(runtime)
+    runtime.deliver_to_coordinator(1, payload())
+    drain(runtime)
+    assert len(coord_inbox) == 1
+    assert metrics.snapshot()["counters"]["net.acks"] == 1
+
+
+def test_sender_crash_abandons_inflight_frames():
+    runtime, inboxes, _ = make_runtime()
+    channel, metrics = install(runtime, ack_timeout=0.001)
+    runtime.drop_filter = lambda src, dst, msg: isinstance(msg, DataFrame)
+    runtime.deliver(0, 1, payload())
+    assert channel.inflight_count == 1
+    runtime.crash_server(0)
+    assert channel.inflight_count == 0  # crash wiped the sender's bookkeeping
+    drain(runtime)
+    assert inboxes[1] == []  # and no retry ever delivered it
+    counters = metrics.snapshot()["counters"]
+    assert counters["net.inflight_lost{server=0}"] == 1
+
+
+def test_receiver_crash_clears_dedup_state():
+    runtime, inboxes, _ = make_runtime()
+    channel, metrics = install(runtime)
+    runtime.deliver(0, 1, payload())
+    drain(runtime)
+    assert len(inboxes[1]) == 1
+    runtime.crash_server(1)
+    runtime.recover_server(1)
+    # Same (travel, attempt, seq) arriving again post-crash is re-delivered:
+    # the crashed receiver forgot it ever saw it, by design.
+    runtime.deliver(0, 1, payload())
+    drain(runtime, until=2.0)
+    assert len(inboxes[1]) == 2
+
+
+def test_forget_travel_prunes_dedup_state():
+    runtime, inboxes, _ = make_runtime()
+    channel, _ = install(runtime)
+    runtime.deliver(0, 1, payload(travel_id=42))
+    drain(runtime)
+    assert channel._seen[1][42]
+    channel.forget_travel(42)
+    assert 42 not in channel._seen[1]
+
+
+def test_double_install_rejected():
+    from repro.errors import SimulationError
+
+    runtime, _, _ = make_runtime()
+    install(runtime)
+    with pytest.raises(SimulationError, match="already installed"):
+        install(runtime)
