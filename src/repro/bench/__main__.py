@@ -16,11 +16,20 @@ Exit code 1 if any shape check fails.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.bench import experiments as exp
-from repro.bench.harness import BenchEnvironment, metrics_payload, save_results
+from repro.bench.harness import (
+    BenchEnvironment,
+    metrics_payload,
+    save_results,
+    set_tracing,
+    trace_payload,
+)
 from repro.bench.report import banner
+from repro.obs.trace import validate_trace
 
 EXPERIMENTS = {
     "table1": lambda env: exp.exp_table1(env),
@@ -72,6 +81,21 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         default=None,
         help="override the chaos watchdog's whole-traversal restart budget",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a flight-recorder trace for every cell and write the "
+        "merged Chrome trace_event file (open in chrome://tracing or "
+        "https://ui.perfetto.dev) as <experiment>_trace.json",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the Chrome trace there instead (implies --trace; only "
+        "meaningful when running a single experiment)",
+    )
     return parser.parse_args(argv)
 
 
@@ -94,6 +118,8 @@ def main(argv: list[str]) -> int:
         exec_timeout=args.exec_timeout,
         max_restarts=args.max_restarts,
     )
+    tracing = args.trace or args.trace_out is not None
+    set_tracing(tracing)
     env = BenchEnvironment.from_env()
     print(f"environment: scale={env.scale} edge_factor={env.edge_factor} "
           f"servers={env.servers}")
@@ -112,6 +138,19 @@ def main(argv: list[str]) -> int:
         if snapshots:
             mpath = save_results(result.experiment + "_metrics", snapshots)
             print(f"  metrics -> {mpath}")
+        if tracing:
+            chrome = trace_payload(result.cells)
+            problems = validate_trace(chrome)
+            for problem in problems[:8]:
+                print(f"  [FAIL] trace schema: {problem}")
+            any_failed |= bool(problems)
+            if args.trace_out is not None:
+                tpath = args.trace_out
+                tpath.parent.mkdir(parents=True, exist_ok=True)
+                tpath.write_text(json.dumps(chrome, sort_keys=True))
+            else:
+                tpath = save_results(result.experiment + "_trace", chrome)
+            print(f"  trace ({len(chrome['traceEvents'])} events) -> {tpath}")
     return 1 if any_failed else 0
 
 

@@ -43,6 +43,19 @@ PAPER_SERVERS = (2, 4, 8, 16, 32)
 
 ENGINE_ORDER = (EngineKind.SYNC, EngineKind.ASYNC, EngineKind.GRAPHTREK)
 
+#: process-wide tracing switch the bench CLI's ``--trace`` flag flips; every
+#: cell built while it is on records a flight-recorder trace (see
+#: :mod:`repro.obs.trace`) and attaches the Chrome payload to ``Cell.trace``.
+_TRACING = {"enabled": False}
+
+
+def set_tracing(enabled: bool) -> None:
+    _TRACING["enabled"] = enabled
+
+
+def tracing_enabled() -> bool:
+    return _TRACING["enabled"]
+
 
 @dataclass(frozen=True)
 class BenchEnvironment:
@@ -119,6 +132,9 @@ class Cell:
     #: (saved separately as <experiment>_metrics.json, excluded from the
     #: paper-table payload)
     metrics: dict = field(default_factory=dict)
+    #: Chrome ``trace_event`` payload when the run was traced (saved
+    #: separately as <experiment>_trace.json, excluded everywhere else)
+    trace: dict = field(default_factory=dict)
 
     @classmethod
     def from_outcome(cls, engine, nservers: int, outcome: TraversalOutcome):
@@ -152,10 +168,14 @@ def run_cell(
     config = ClusterConfig(nservers=nservers, engine=engine, **cluster_kwargs)
     if interference_factory is not None:
         config.interference = interference_factory()
+    if tracing_enabled():
+        config.trace_enabled = True
     cluster = Cluster.build(graph, config)
     outcome = cluster.traverse(plan)
     cell = Cell.from_outcome(engine, nservers, outcome)
     cell.metrics = cluster.metrics_snapshot()
+    if tracing_enabled():
+        cell.trace = cluster.trace_payload(label=f"{cell.engine}x{nservers}")
     return cell
 
 
@@ -199,7 +219,11 @@ def save_results(name: str, payload) -> Path:
 
 def cells_payload(cells: Sequence[Cell]) -> list[dict]:
     return [
-        {k: v for k, v in cell.__dict__.items() if k not in ("per_server", "metrics")}
+        {
+            k: v
+            for k, v in cell.__dict__.items()
+            if k not in ("per_server", "metrics", "trace")
+        }
         for cell in cells
     ]
 
@@ -211,3 +235,23 @@ def metrics_payload(cells: Sequence[Cell]) -> dict[str, dict]:
         for cell in cells
         if cell.metrics
     }
+
+
+def trace_payload(cells: Sequence[Cell]) -> dict:
+    """Merge the per-cell Chrome traces into one loadable payload.
+
+    Each cell's process ids are shifted into a disjoint block so Perfetto
+    shows every cell's servers side by side under its own labels.
+    """
+    merged: list[dict] = []
+    block = 0
+    for cell in cells:
+        events = cell.trace.get("traceEvents")
+        if not events:
+            continue
+        for ev in events:
+            ev = dict(ev)
+            ev["pid"] = ev["pid"] + block
+            merged.append(ev)
+        block += 1000
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}

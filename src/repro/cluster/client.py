@@ -49,6 +49,24 @@ class GraphTrekClient:
         self.history.append(record)
         return outcome
 
+    def profile(
+        self, query: Union[GTravel, TraversalPlan], *, cold: bool = False
+    ):
+        """Run a traversal with the flight recorder on and return its
+        :class:`~repro.obs.explain.ProfileReport` (the Gremlin-style
+        ``profile()`` step). The outcome joins the history as usual; a
+        traversal that fails terminally still yields a report whose trace
+        ends in the ``travel.failed`` event."""
+        outcome, report = self.cluster.profile(query, cold=cold)
+        if outcome is not None:
+            plan = query.compile() if isinstance(query, GTravel) else query
+            self.history.append(
+                SubmissionRecord(
+                    travel_id=outcome.result.travel_id, plan=plan, outcome=outcome
+                )
+            )
+        return report
+
     def query_union(self, *queries: Union[GTravel, TraversalPlan]) -> set[int]:
         """OR-composition helper: run each traversal, union returned vertices
         (the paper's workaround for the missing OR filter)."""

@@ -71,6 +71,12 @@ class ClusterConfig:
     #: wire needs no acks and the paper's timings are measured without them.
     reliable: bool = False
     reliable_config: Optional[ReliableConfig] = None
+    #: per-traversal flight recorder (exec lifecycle, forwards, retries,
+    #: fault verdicts — see :mod:`repro.obs.trace`). Off by default; recording
+    #: is out-of-band and never affects simulated timings, but the event
+    #: stream costs memory on long runs (bounded by ``trace_max_events``).
+    trace_enabled: bool = False
+    trace_max_events: Optional[int] = None
 
     def engine_options(self) -> EngineOptions:
         if isinstance(self.engine, EngineOptions):
@@ -178,6 +184,10 @@ class Cluster:
             ctx0 = runtime.context(0)
             obs.bind_clock(ctx0.now)
         runtime.bind_metrics(obs.metrics)
+        obs.trace.configure(
+            enabled=config.trace_enabled, max_events=config.trace_max_events
+        )
+        runtime.bind_trace(obs.trace)
 
         # Fault machinery: crashes clear engine memory (LSM storage keeps its
         # state inside GraphStore, untouched); the reliable channel interposes
@@ -198,6 +208,7 @@ class Cluster:
                 config=reliable_cfg,
                 metrics=obs.metrics,
                 spans=obs.spans,
+                trace=obs.trace,
                 seed=config.fault_plan.seed if config.fault_plan is not None else 0,
             )
             runtime.install_channel(channel)
@@ -285,10 +296,76 @@ class Cluster:
         return self.board.obs.spans.timeline()
 
     def export_observability(self, path):
-        """Write the canonical metrics+spans payload to ``path``; returns it."""
+        """Write the canonical metrics+spans+trace payload to ``path``."""
         from repro.obs.export import write_observability
 
-        return write_observability(path, self.board.obs.metrics, self.board.obs.spans)
+        return write_observability(
+            path, self.board.obs.metrics, self.board.obs.spans, self.board.obs.trace
+        )
+
+    # -- tracing / EXPLAIN / PROFILE ------------------------------------------------
+
+    def enable_tracing(self, max_events: Optional[int] = None) -> None:
+        """Turn the flight recorder on (equivalent to building the cluster
+        with ``trace_enabled=True``)."""
+        self.board.obs.trace.configure(enabled=True, max_events=max_events)
+
+    def trace_dag(self, travel_id: TravelId):
+        """Reconstruct one traversal's execution DAG from recorded events.
+
+        Raises :class:`~repro.errors.TraceError` on orphan executions or
+        cycles (degraded to warnings when the ring buffer truncated).
+        """
+        from repro.obs.trace import assemble_trace
+
+        recorder = self.board.obs.trace
+        return assemble_trace(
+            recorder.events(), travel_id, dropped=recorder.dropped
+        )
+
+    def trace_payload(self, *, label: Optional[str] = None) -> dict:
+        """Every recorded traversal in Chrome ``trace_event`` format
+        (open in chrome://tracing or https://ui.perfetto.dev)."""
+        from repro.obs.trace import chrome_trace
+
+        return chrome_trace(self.board.obs.trace, label=label)
+
+    def profile(
+        self,
+        query: Union[GTravel, TraversalPlan],
+        *,
+        cold: bool = True,
+        limit: Optional[float] = None,
+    ):
+        """Run ``query`` with the flight recorder on and return
+        ``(outcome, ProfileReport)`` — the Gremlin-style ``profile()`` step.
+
+        The report carries per-step fan-out, visit/cache attribution,
+        per-server execution counts and skew, wall-clock per step on the
+        virtual clock, and the full reconstructed trace. Deterministic per
+        (seed, config) on the simulated runtime.
+        """
+        from repro.errors import TraversalFailed
+        from repro.obs.explain import profile_traversal
+
+        self.enable_tracing()
+        plan = self._compile(query)
+        try:
+            outcome = self.traverse(plan, cold=cold, limit=limit)
+        except TraversalFailed as err:
+            dag = self.trace_dag(err.travel_id)
+            report = profile_traversal(dag, plan, spans=self.board.obs.spans)
+            return None, report
+        travel_id = outcome.result.travel_id
+        dag = self.trace_dag(travel_id)
+        report = profile_traversal(
+            dag,
+            plan,
+            spans=self.board.obs.spans,
+            elapsed=outcome.stats.elapsed,
+            result_count=len(outcome.result.vertices),
+        )
+        return outcome, report
 
     # -- maintenance --------------------------------------------------------------
 

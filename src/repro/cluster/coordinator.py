@@ -28,6 +28,7 @@ from repro.engine.tracing import ExecTracker, SyncBarrierState
 from repro.errors import TraversalFailed
 from repro.ids import COORDINATOR, IdAllocator, ServerId, TravelId, VertexId
 from repro.lang.plan import TraversalPlan
+from repro.obs.trace import sync_exec_id
 from repro.net.message import (
     ExecStatus,
     Message,
@@ -115,6 +116,7 @@ class Coordinator:
         self.board = board
         self.metrics = board.obs.metrics
         self.spans = board.obs.spans
+        self.trace = board.obs.trace
         self.engine_kind = engine_kind
         self.config = config or CoordinatorConfig()
         self.on_complete = on_complete
@@ -147,6 +149,13 @@ class Coordinator:
         self.spans.travel_span(
             travel_id, engine=self.engine_kind.value, steps=plan.final_level
         )
+        self.trace.record(
+            "travel.submit",
+            travel_id=travel_id,
+            server_id=self.ctx.server_id,
+            engine=self.engine_kind.value,
+            steps=plan.final_level,
+        )
         self._dispatch(at)
         self.ctx.spawn(self._watchdog(at), name=f"watchdog-{travel_id}")
         return travel_id, event
@@ -177,6 +186,16 @@ class Coordinator:
         for server, vids in groups:
             eid = next(self._next_exec)
             initial.append((eid, server, 0))
+            self.trace.record(
+                "exec.created",
+                travel_id=at.travel_id,
+                exec_id=eid,
+                parent_exec_id=None,
+                server_id=server,
+                step=0,
+                attempt=attempt,
+                edge="dispatch",
+            )
             request = TraverseRequest(
                 at.travel_id,
                 level=0,
@@ -214,6 +233,18 @@ class Coordinator:
                     ),
                 )
         for server in range(self.ctx.nservers):
+            # The barrier release is the sync engine's root "creation": one
+            # synthetic execution per (attempt, level, server) work unit.
+            self.trace.record(
+                "exec.created",
+                travel_id=at.travel_id,
+                exec_id=sync_exec_id(attempt, 0, server),
+                parent_exec_id=None,
+                server_id=server,
+                step=0,
+                attempt=attempt,
+                edge="barrier",
+            )
             self._send(
                 at.travel_id,
                 server,
@@ -241,6 +272,17 @@ class Coordinator:
             tracker: ExecTracker = at.tracker  # type: ignore[assignment]
             fresh = tracker.on_status(msg, self.ctx.now())
             self.metrics.count("coord.exec_status", server=msg.server)
+            self.trace.record(
+                "coord.status",
+                travel_id=msg.travel_id,
+                exec_id=msg.exec_id,
+                server_id=msg.server,
+                step=msg.level,
+                attempt=attempt,
+                fresh=fresh,
+                created=len(msg.created),
+                results_sent=msg.results_sent,
+            )
             if fresh:
                 # Fresh terminations only: duplicate reports from replayed
                 # executions must not inflate the executions statistic.
@@ -250,6 +292,13 @@ class Coordinator:
             self._check_complete(at)
         elif isinstance(msg, ResultReport):
             self.metrics.count("coord.result_reports")
+            self.trace.record(
+                "coord.result",
+                travel_id=msg.travel_id,
+                step=msg.level,
+                attempt=attempt,
+                vertices=len(msg.vertices),
+            )
             at.returned.setdefault(msg.level, set()).update(msg.vertices)
             if self.config.stream_results:
                 self._stream_enqueue(at, msg.level, msg.vertices)
@@ -301,6 +350,16 @@ class Coordinator:
         if at.done or attempt != at.entry.attempt:
             return
         for server in range(self.ctx.nservers):
+            self.trace.record(
+                "exec.created",
+                travel_id=at.travel_id,
+                exec_id=sync_exec_id(attempt, level, server),
+                parent_exec_id=None,
+                server_id=server,
+                step=level,
+                attempt=attempt,
+                edge="barrier",
+            )
             self._send(
                 at.travel_id,
                 server,
@@ -379,6 +438,14 @@ class Coordinator:
         self.spans.finish_travel(
             at.travel_id, status="ok", results=total_results, restarts=stats.restarts
         )
+        self.trace.record(
+            "travel.complete",
+            travel_id=at.travel_id,
+            server_id=self.ctx.server_id,
+            attempt=at.entry.attempt,
+            results=total_results,
+            restarts=stats.restarts,
+        )
         result = TraversalResult(
             travel_id=at.travel_id,
             returned={lvl: frozenset(v) for lvl, v in at.returned.items()},
@@ -416,6 +483,14 @@ class Coordinator:
                 self.registry.unregister(at.travel_id)
                 self.metrics.count("coord.failed")
                 self.spans.finish_travel(at.travel_id, status="failed", restarts=restarts)
+                self.trace.record(
+                    "travel.failed",
+                    travel_id=at.travel_id,
+                    server_id=self.ctx.server_id,
+                    attempt=at.entry.attempt,
+                    restarts=restarts,
+                    reason=f"no progress for {idle:.1f}s",
+                )
                 at.client_event.fail(
                     TraversalFailed(
                         at.travel_id,
@@ -448,6 +523,13 @@ class Coordinator:
     def _replay_one(self, at: ActiveTravel, stats, eid: int, origin: ServerId) -> None:
         stats.replays += 1
         self.metrics.count("coord.replays")
+        self.trace.record(
+            "exec.replayed",
+            travel_id=at.travel_id,
+            exec_id=eid,
+            server_id=origin,
+            attempt=at.entry.attempt,
+        )
         if origin == COORDINATOR:
             dst, request = at.initial_sent[eid]
             self._send(at.travel_id, dst, request)
@@ -492,6 +574,12 @@ class Coordinator:
         attempt = self.registry.bump_attempt(at.travel_id)
         self.metrics.count("coord.restarts")
         self.spans.annotate(self.spans.travel_span(at.travel_id), restarts=attempt)
+        self.trace.record(
+            "travel.restart",
+            travel_id=at.travel_id,
+            server_id=self.ctx.server_id,
+            attempt=attempt,
+        )
         self.board.reset(at.travel_id)
         self.board.stats(at.travel_id).restarts = attempt
         at.returned.clear()

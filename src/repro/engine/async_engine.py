@@ -84,6 +84,10 @@ class PendingWork:
     all_sources: bool = False
     absorbed: int = 0
     enqueued_at: float = 0.0
+    #: per-unit visit attribution (flight-recorder / PROFILE payload)
+    n_real: int = 0
+    n_cache_hits: int = 0
+    n_combined: int = 0
 
     @property
     def travel_id(self) -> TravelId:
@@ -114,6 +118,7 @@ class AsyncServerEngine:
         self.board = board
         self.metrics = board.obs.metrics
         self.spans = board.obs.spans
+        self.trace = board.obs.trace
         self.queue = ctx.queue(priority=opts.priority_schedule, name="requests")
         self._pending: dict[tuple[TravelKey, int], PendingWork] = {}
         capacity = opts.cache_capacity if opts.cache_enabled else _UNBOUNDED
@@ -156,11 +161,20 @@ class AsyncServerEngine:
     def _on_request(self, msg: TraverseRequest) -> None:
         server = self.ctx.server_id
         self.metrics.count("engine.requests", server=server)
+        self.trace.record(
+            "exec.received",
+            travel_id=msg.travel_id,
+            exec_id=msg.exec_id,
+            server_id=server,
+            step=msg.level,
+            attempt=msg.attempt,
+        )
         entry = self.registry.get(msg.travel_id)
         if entry is None or entry.attempt != msg.attempt:
             # Stale attempt: terminate the execution so old accounting
             # quiesces; the coordinator ignores reports from old attempts.
             self.metrics.count("engine.stale_requests", server=server)
+            self._record_terminated(msg.travel_id, msg.exec_id, msg.level, msg.attempt, "stale")
             self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
             return
         tkey = (msg.travel_id, msg.attempt)
@@ -173,6 +187,9 @@ class AsyncServerEngine:
             work.all_sources = work.all_sources or msg.all_sources
             work.absorbed += 1
             self.metrics.count("engine.coalesced", server=server)
+            self._record_terminated(
+                msg.travel_id, msg.exec_id, msg.level, msg.attempt, "coalesced"
+            )
             self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
             return
         work = PendingWork(
@@ -191,8 +208,16 @@ class AsyncServerEngine:
     def _on_success(self, msg: SuccessReport) -> None:
         """An rtn server learning which of its anchors completed a path."""
         self.metrics.count("engine.rtn_confirms", server=self.ctx.server_id)
+        self.trace.record(
+            "exec.received",
+            travel_id=msg.travel_id,
+            exec_id=msg.exec_id,
+            server_id=self.ctx.server_id,
+            attempt=msg.attempt,
+        )
         entry = self.registry.get(msg.travel_id)
         if entry is None or entry.attempt != msg.attempt:
+            self._record_terminated(msg.travel_id, msg.exec_id, None, msg.attempt, "stale")
             self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, None)
             return
         tkey = (msg.travel_id, msg.attempt)
@@ -212,6 +237,10 @@ class AsyncServerEngine:
                 ),
             )
             results_sent = 1
+        self._record_terminated(
+            msg.travel_id, msg.exec_id, None, msg.attempt, "rtn",
+            anchors=len(msg.anchors), results_sent=results_sent,
+        )
         self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), results_sent, None)
 
     # -- worker loop ---------------------------------------------------------------
@@ -230,6 +259,7 @@ class AsyncServerEngine:
         server = self.ctx.server_id
         entry = self.registry.get(travel_id)
         if entry is None or entry.attempt != attempt:
+            self._record_terminated(travel_id, work.exec_id, work.level, attempt, "stale")
             self._report_status(travel_id, attempt, work.exec_id, (), 0, work.level)
             return
         plan = entry.plan
@@ -274,6 +304,16 @@ class AsyncServerEngine:
 
         created, results_sent = self._flush(work, plan, sinks)
         self.spans.end(unit_span, vertices=len(items), created=len(created))
+        self._record_terminated(
+            travel_id, work.exec_id, level, attempt, "ok",
+            vertices=len(items),
+            created=len(created),
+            results_sent=results_sent,
+            absorbed=work.absorbed,
+            real=work.n_real,
+            cache_hits=work.n_cache_hits,
+            combined=work.n_combined,
+        )
         self._report_status(
             travel_id, attempt, work.exec_id, tuple(created), results_sent, level
         )
@@ -320,6 +360,7 @@ class AsyncServerEngine:
                 # Traversal-affiliate cache hit: safely abandon the request.
                 self.board.visit(travel_id, server, "redundant")
                 self.metrics.count("cache.affiliate_hits", server=server)
+                work.n_cache_hits += 1
                 return False
 
         todo: list[tuple[int, Anchors]] = [(level, anchors)]
@@ -356,6 +397,8 @@ class AsyncServerEngine:
         self.board.visit(travel_id, server, "real")
         self.board.visit(travel_id, server, "combined", len(todo) - 1)
         self.metrics.count("engine.real_visits", server=server)
+        work.n_real += 1
+        work.n_combined += len(todo) - 1
 
         vertex_type = self.store.namespace_of(vid)
         if data is None:
@@ -399,6 +442,16 @@ class AsyncServerEngine:
         for (nlvl, target), entries in sorted(sinks.out.items()):
             eid = next(self._next_exec)
             created.append((eid, target, nlvl))
+            self.trace.record(
+                "exec.created",
+                travel_id=travel_id,
+                exec_id=eid,
+                parent_exec_id=work.exec_id,
+                server_id=target,
+                step=nlvl,
+                attempt=attempt,
+                edge="forward",
+            )
             request = TraverseRequest(
                 travel_id,
                 level=nlvl,
@@ -412,6 +465,16 @@ class AsyncServerEngine:
         for (rtn_level, owner), anchors in sorted(sinks.anchors_by_owner.items()):
             eid = next(self._next_exec)
             created.append((eid, owner, plan.final_level))
+            self.trace.record(
+                "exec.created",
+                travel_id=travel_id,
+                exec_id=eid,
+                parent_exec_id=work.exec_id,
+                server_id=owner,
+                step=plan.final_level,
+                attempt=attempt,
+                edge="rtn",
+            )
             success = SuccessReport(
                 travel_id,
                 rtn_level=rtn_level,
@@ -441,6 +504,26 @@ class AsyncServerEngine:
         return created, results_sent
 
     # -- plumbing ---------------------------------------------------------------------
+
+    def _record_terminated(
+        self,
+        travel_id: TravelId,
+        exec_id: ExecId,
+        level: Optional[int],
+        attempt: int,
+        reason: str,
+        **attrs,
+    ) -> None:
+        self.trace.record(
+            "exec.terminated",
+            travel_id=travel_id,
+            exec_id=exec_id,
+            server_id=self.ctx.server_id,
+            step=level,
+            attempt=attempt,
+            reason=reason,
+            **attrs,
+        )
 
     def _send(self, travel_id: TravelId, dst: ServerId, msg: Message) -> None:
         self.board.message(travel_id, msg.nbytes)

@@ -47,6 +47,7 @@ from repro.net.message import (
     SyncStartStep,
     SyncStepDone,
 )
+from repro.obs.trace import sync_exec_id
 from repro.runtime.base import ServerContext
 from repro.storage.costmodel import IOCost
 from repro.storage.layout import GraphStore
@@ -74,6 +75,7 @@ class SyncServerEngine:
         self.board = board
         self.metrics = board.obs.metrics
         self.spans = board.obs.spans
+        self.trace = board.obs.trace
         self.queue = ctx.queue(priority=False, name="sync-steps")
         self._buffers: dict[tuple[TravelKey, int], Entries] = {}
         self._batch_counts: dict[tuple[TravelKey, int], int] = {}
@@ -139,8 +141,28 @@ class SyncServerEngine:
         (travel_id, attempt), level = key
         entries = self._buffers.pop(key, {})
         self._batch_counts.pop(key, None)
+        # The synthetic id of this barrier-released (attempt, level, server)
+        # work unit — created by the coordinator when it released the step.
+        eid = sync_exec_id(attempt, level, self.ctx.server_id)
+        self.trace.record(
+            "exec.received",
+            travel_id=travel_id,
+            exec_id=eid,
+            server_id=self.ctx.server_id,
+            step=level,
+            attempt=attempt,
+        )
         entry = self.registry.get(travel_id)
         if entry is None or entry.attempt != attempt:
+            self.trace.record(
+                "exec.terminated",
+                travel_id=travel_id,
+                exec_id=eid,
+                server_id=self.ctx.server_id,
+                step=level,
+                attempt=attempt,
+                reason="stale",
+            )
             return
         plan = entry.plan
         rtn_levels = intermediate_rtn_levels(plan)
@@ -170,6 +192,7 @@ class SyncServerEngine:
         want_labels = labels_needed(plan, [level])
         want_props = needs_props(plan, [level], level0_override)
         first_in_batch = True
+        n_real = 0
         for vid, anchors in items:
             if not self.store.has_vertex(vid):
                 continue
@@ -192,6 +215,7 @@ class SyncServerEngine:
                 data = VisitData(props=None, edges={}, cost=IOCost())
             self.board.visit(travel_id, self.ctx.server_id, "real")
             self.metrics.count("engine.real_visits", server=server)
+            n_real += 1
             expand_vertex(
                 plan, level, vid, anchors, data, self.owner_fn, sinks, rtn_levels,
                 self.store.namespace_of(vid),
@@ -201,6 +225,19 @@ class SyncServerEngine:
         results_sent = self._emit_results(travel_id, attempt, plan, sinks)
         sent_counts: dict[ServerId, int] = {}
         for (nlvl, target), out_entries in sorted(sinks.out.items()):
+            # Data-flow edge from this work unit into the next level's unit
+            # on the target server (its root "barrier" creation comes from
+            # the coordinator when it releases that step).
+            self.trace.record(
+                "exec.created",
+                travel_id=travel_id,
+                exec_id=sync_exec_id(attempt, nlvl, target),
+                parent_exec_id=eid,
+                server_id=target,
+                step=nlvl,
+                attempt=attempt,
+                edge="forward",
+            )
             self._send(
                 travel_id,
                 target,
@@ -217,6 +254,19 @@ class SyncServerEngine:
             self.metrics.count("engine.dispatches", len(sent_counts), server=server)
         self.board.execution(travel_id)
         self.spans.end(unit_span, vertices=len(items))
+        self.trace.record(
+            "exec.terminated",
+            travel_id=travel_id,
+            exec_id=eid,
+            server_id=server,
+            step=level,
+            attempt=attempt,
+            reason="ok",
+            vertices=len(items),
+            created=len(sinks.out),
+            results_sent=results_sent,
+            real=n_real,
+        )
         self.metrics.count("engine.status_reports", server=server)
         self._send_coord(
             travel_id,

@@ -54,3 +54,8 @@ class TraversalFailed(TraversalError):
 
 class RuntimeUnavailable(ReproError):
     """Raised when an operation requires a runtime feature that is absent."""
+
+
+class TraceError(ReproError):
+    """Raised when a recorded traversal trace cannot be reconstructed into a
+    well-formed execution DAG (orphan executions, cycles)."""

@@ -50,6 +50,9 @@ class ChaosOutcome:
     error: Optional[str]
     baseline_duration: float
     net_counters: dict = field(default_factory=dict)
+    #: travel_id → reconstructed :class:`~repro.obs.trace.TraversalDag` of the
+    #: faulty run, when the check ran with ``trace=True`` (None otherwise)
+    traces: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -82,14 +85,23 @@ def run_under_faults(
     nservers: int = 3,
     coordinator_config: Optional[CoordinatorConfig] = None,
     reliable: bool = True,
-) -> tuple[Optional[dict], Optional[str], dict]:
-    """One traversal under ``plan``; returns (results-or-None, error, counters)."""
+    trace: bool = False,
+) -> tuple[Optional[dict], Optional[str], dict, Optional[dict]]:
+    """One traversal under ``plan``.
+
+    Returns ``(results-or-None, error, counters, traces)``; ``traces`` maps
+    travel_id → reconstructed execution DAG when ``trace=True``, else None.
+    Because the recorder survives the traversal (it lives on the cluster, not
+    the exception path), a run that exhausts its restart budget still yields
+    a DAG — one whose event stream ends in ``travel.failed``.
+    """
     config = ClusterConfig(
         nservers=nservers,
         engine=engine,
         fault_plan=plan,
         reliable=reliable,
         coordinator_config=coordinator_config or CoordinatorConfig(),
+        trace_enabled=trace,
     )
     cluster = Cluster.build(graph, config)
     returned: Optional[dict] = None
@@ -100,8 +112,13 @@ def run_under_faults(
     except TraversalError as exc:
         error = f"{type(exc).__name__}: {exc}"
     counters = _net_counters(cluster.metrics_snapshot())
+    traces: Optional[dict] = None
+    if trace:
+        from repro.obs.trace import assemble_all
+
+        traces = {d.travel_id: d for d in assemble_all(cluster.board.obs.trace)}
     cluster.shutdown()
-    return returned, error, counters
+    return returned, error, counters, traces
 
 
 def chaos_coordinator_config(baseline_duration: float) -> CoordinatorConfig:
@@ -129,12 +146,15 @@ def chaos_check(
     reliable: bool = True,
     max_drop: float = 0.12,
     max_duplicate: float = 0.10,
+    trace: bool = False,
 ) -> ChaosOutcome:
     """Run the differential check for one sampled fault plan.
 
     ``crash=True`` additionally schedules one mid-traversal server crash,
     with the crash window placed inside the fault-free run's duration so the
-    crash lands while work is in flight.
+    crash lands while work is in flight. ``trace=True`` runs the faulty leg
+    with the flight recorder on and attaches the reconstructed execution
+    DAG(s) to ``ChaosOutcome.traces``.
     """
     baseline, duration = run_fault_free(graph, query, engine=engine, nservers=nservers)
     crash_window = (0.2 * duration, 3.0 * duration) if crash else None
@@ -146,7 +166,7 @@ def chaos_check(
         crash_window=crash_window,
     )
     cc = coordinator_config or chaos_coordinator_config(duration)
-    faulty, error, counters = run_under_faults(
+    faulty, error, counters, traces = run_under_faults(
         graph,
         query,
         plan,
@@ -154,6 +174,7 @@ def chaos_check(
         nservers=nservers,
         coordinator_config=cc,
         reliable=reliable,
+        trace=trace,
     )
     return ChaosOutcome(
         seed=seed,
@@ -165,4 +186,5 @@ def chaos_check(
         error=error,
         baseline_duration=duration,
         net_counters=counters,
+        traces=traces,
     )

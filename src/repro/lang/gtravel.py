@@ -146,6 +146,11 @@ class GTravel:
     def describe(self) -> str:
         return self.compile().describe()
 
+    def explain(self) -> dict:
+        """Compile and explain: the step plan with selectors, filters, and
+        rtn marks as a structured dict (no traversal runs)."""
+        return self.compile().explain()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         try:
             return f"<GTravel {self.describe()}>"

@@ -94,6 +94,14 @@ class TraversalPlan:
         report-destination redirection machinery of paper §IV-D)."""
         return any(level < self.final_level for level in self.return_levels)
 
+    def explain(self) -> dict:
+        """The compiled step plan as a structured dict (Gremlin-style
+        ``explain()``): source selector, per-step labels and filters, rtn
+        marks. See :func:`repro.obs.explain.explain_plan`."""
+        from repro.obs.explain import explain_plan
+
+        return explain_plan(self)
+
     def describe(self) -> str:
         """A printable, paper-style rendering of the plan."""
         if self.source_ids is None:

@@ -105,12 +105,14 @@ class ReliableChannel:
         config: Optional[ReliableConfig] = None,
         metrics=None,
         spans=None,
+        trace=None,
         seed: int = 0,
     ):
         self.runtime = runtime
         self.config = config or ReliableConfig()
         self.metrics = metrics
         self.spans = spans
+        self.trace = trace
         self._rng = np.random.default_rng(derive_seed(seed, "net.reliable"))
         self._seq = itertools.count(1)
         self._inflight: dict[int, _InFlight] = {}
@@ -198,9 +200,11 @@ class ReliableChannel:
                     self.spans.end(
                         entry.retry_span, outcome="failed", retries=entry.attempts - 1
                     )
+                self._trace_event("net.delivery_failed", entry)
                 failed = entry
             else:
                 self._count("net.retries", type=type(entry.payload).__name__)
+                self._trace_event("net.retry", entry)
                 if self.spans is not None and entry.retry_span == 0:
                     entry.retry_span = self.spans.begin(
                         "retry",
@@ -248,6 +252,16 @@ class ReliableChannel:
             seen = self._seen.setdefault(addr, {}).setdefault(frame.travel_id, set())
             if key in seen:
                 self._count("net.dup_suppressed", type=type(payload).__name__)
+                if self.trace is not None:
+                    self.trace.record(
+                        "net.dup_drop",
+                        travel_id=frame.travel_id,
+                        exec_id=getattr(payload, "exec_id", None),
+                        server_id=addr,
+                        attempt=getattr(payload, "attempt", 0),
+                        seq=frame.seq,
+                        type=type(payload).__name__,
+                    )
                 return
             seen.add(key)
             handler = self._upper_coord if addr == COORDINATOR else self._upper[addr]
@@ -289,3 +303,18 @@ class ReliableChannel:
     def _count(self, name: str, n: float = 1, **labels: Any) -> None:
         if self.metrics is not None:
             self.metrics.count(name, n, **labels)
+
+    def _trace_event(self, kind: str, entry: _InFlight) -> None:
+        if self.trace is None:
+            return
+        self.trace.record(
+            kind,
+            travel_id=entry.payload.travel_id,
+            exec_id=getattr(entry.payload, "exec_id", None),
+            server_id=entry.dst,
+            attempt=getattr(entry.payload, "attempt", 0),
+            seq=entry.seq,
+            attempts=entry.attempts,
+            src=entry.src,
+            type=type(entry.payload).__name__,
+        )

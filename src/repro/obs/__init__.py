@@ -18,23 +18,47 @@ from repro.obs.export import (
     validate_snapshot,
     write_observability,
 )
+from repro.obs.explain import (
+    ProfileReport,
+    StepProfile,
+    explain_plan,
+    profile_traversal,
+)
 from repro.obs.metrics import Histogram, MetricsRegistry, metric_key, render_key
 from repro.obs.spans import SPAN_KINDS, Span, SpanTracer
+from repro.obs.trace import (
+    EVENT_KINDS,
+    FlightRecorder,
+    TraceEvent,
+    TraversalDag,
+    assemble_all,
+    assemble_trace,
+    chrome_trace,
+    sync_exec_id,
+    unit_span_count,
+    validate_trace,
+)
 
 
 class Observability:
-    """One cluster's metrics registry and span tracer, clock-bound together."""
+    """One cluster's metrics registry, span tracer, and flight recorder,
+    clock-bound together. The flight recorder starts disabled — it is the
+    opt-in third instrument (``ClusterConfig.trace_enabled`` or
+    ``Cluster.enable_tracing``)."""
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
         self.spans = SpanTracer(enabled=enabled)
+        self.trace = FlightRecorder(enabled=False)
+        self.trace.bind_metrics(self.metrics)
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self.spans.bind_clock(clock)
+        self.trace.bind_clock(clock)
 
     def payload(self) -> dict:
-        return observability_payload(self.metrics, self.spans)
+        return observability_payload(self.metrics, self.spans, self.trace)
 
     def to_json(self) -> str:
         return canonical_json(self.payload())
@@ -47,6 +71,20 @@ __all__ = [
     "SpanTracer",
     "Span",
     "SPAN_KINDS",
+    "FlightRecorder",
+    "TraceEvent",
+    "TraversalDag",
+    "EVENT_KINDS",
+    "assemble_trace",
+    "assemble_all",
+    "chrome_trace",
+    "validate_trace",
+    "sync_exec_id",
+    "unit_span_count",
+    "explain_plan",
+    "profile_traversal",
+    "ProfileReport",
+    "StepProfile",
     "metric_key",
     "render_key",
     "canonical_json",

@@ -1,0 +1,266 @@
+"""GTravel ``explain()`` and ``Client.profile()`` (Gremlin-style, paper §III).
+
+``explain_plan`` renders a compiled :class:`~repro.lang.plan.TraversalPlan`
+as a structured, JSON-safe description of what the engines will execute:
+source selector, per-step edge labels and property filters, and rtn()
+redirection marks. No traversal runs.
+
+``profile_traversal`` is the post-hoc half: given the flight-recorder DAG of
+a completed traversal (plus the PR-1 span timeline for wall-clock), it
+produces a per-step :class:`ProfileReport` — fan-out, visited/filtered
+counts, per-server execution counts and skew, wall-clock per step on the
+virtual clock, and cache-hit attribution. On the simulated runtime the
+report is a pure function of (seed, configuration).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.lang.filters import FilterSet
+from repro.lang.plan import TraversalPlan
+from repro.obs.spans import SpanTracer
+from repro.obs.trace import TraversalDag
+
+#: node stat keys aggregated into per-step profiles, in display order
+_STEP_STATS = (
+    "vertices",
+    "created",
+    "results_sent",
+    "real",
+    "cache_hits",
+    "combined",
+    "filtered",
+    "absorbed",
+)
+
+
+def _filters_payload(filters: FilterSet) -> list[dict[str, Any]]:
+    out = []
+    for f in filters.filters:
+        value = f.value
+        if isinstance(value, frozenset):
+            value = sorted(value, key=repr)
+        elif isinstance(value, tuple):
+            value = list(value)
+        out.append({"key": f.key, "op": f.op.value, "value": value})
+    return out
+
+
+def explain_plan(plan: TraversalPlan) -> dict[str, Any]:
+    """The compiled step plan as a structured, canonical-JSON-safe dict."""
+    steps = []
+    for level, step in enumerate(plan.steps, start=1):
+        steps.append(
+            {
+                "level": level,
+                "labels": list(step.labels),
+                "edge_filters": _filters_payload(step.edge_filters),
+                "vertex_filters": _filters_payload(step.vertex_filters),
+                "rtn": level in plan.rtn_levels,
+            }
+        )
+    return {
+        "query": plan.describe(),
+        "source": {
+            "ids": list(plan.source_ids) if plan.source_ids is not None else "all",
+            "filters": _filters_payload(plan.source_filters),
+            "rtn": 0 in plan.rtn_levels,
+        },
+        "steps": steps,
+        "final_level": plan.final_level,
+        "rtn_levels": sorted(plan.rtn_levels),
+        "return_levels": sorted(plan.return_levels),
+        "has_intermediate_returns": plan.has_intermediate_returns,
+    }
+
+
+@dataclass
+class StepProfile:
+    """Aggregated execution profile of one traversal level."""
+
+    level: int
+    executions: int = 0
+    processed_units: int = 0
+    fan_out: int = 0  # executions created out of this level
+    wall_clock: Optional[float] = None  # level-span duration, virtual seconds
+    per_server: dict[int, int] = field(default_factory=dict)
+    retries: int = 0
+    replays: int = 0
+    dup_drops: int = 0
+    lost: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def skew(self) -> float:
+        """max/mean of per-server execution counts (1.0 = perfectly even)."""
+        if not self.per_server:
+            return 0.0
+        counts = list(self.per_server.values())
+        return max(counts) / (sum(counts) / len(counts))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "level": self.level,
+            "executions": self.executions,
+            "processed_units": self.processed_units,
+            "fan_out": self.fan_out,
+            "wall_clock": self.wall_clock,
+            "per_server": {str(s): self.per_server[s] for s in sorted(self.per_server)},
+            "skew": round(self.skew, 6),
+            "retries": self.retries,
+            "replays": self.replays,
+            "dup_drops": self.dup_drops,
+            "lost": self.lost,
+            "stats": {k: self.stats[k] for k in sorted(self.stats)},
+        }
+
+
+@dataclass
+class ProfileReport:
+    """The full PROFILE result of one traversal run."""
+
+    travel_id: int
+    status: str
+    query: str
+    plan: dict[str, Any]
+    elapsed: Optional[float]
+    attempts: int
+    steps: list[StepProfile]
+    per_server: dict[int, int]
+    warnings: list[str]
+    trace: dict[str, Any]
+    result_count: Optional[int] = None
+
+    @property
+    def skew(self) -> float:
+        if not self.per_server:
+            return 0.0
+        counts = list(self.per_server.values())
+        return max(counts) / (sum(counts) / len(counts))
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "travel_id": self.travel_id,
+            "status": self.status,
+            "query": self.query,
+            "plan": self.plan,
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+            "result_count": self.result_count,
+            "per_server": {str(s): self.per_server[s] for s in sorted(self.per_server)},
+            "skew": round(self.skew, 6),
+            "warnings": list(self.warnings),
+            "steps": [s.as_dict() for s in self.steps],
+            "trace": self.trace,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+
+    def format(self) -> str:
+        """Human-readable per-step table (the README quickstart output)."""
+        lines = [
+            f"PROFILE travel {self.travel_id} [{self.status}] "
+            f"elapsed={self.elapsed if self.elapsed is not None else '?'}s "
+            f"attempts={self.attempts + 1}",
+            f"  query: {self.query}",
+            "  level  execs  units  fan-out  visited  cache-hit  wall-clock  skew",
+        ]
+        for s in self.steps:
+            visited = s.stats.get("vertices", 0)
+            hits = s.stats.get("cache_hits", 0)
+            wall = f"{s.wall_clock:.6f}" if s.wall_clock is not None else "-"
+            lines.append(
+                f"  L{s.level:<5} {s.executions:<6} {s.processed_units:<6} "
+                f"{s.fan_out:<8} {visited:<8} {hits:<10} {wall:<11} {s.skew:.2f}"
+            )
+        for warning in self.warnings:
+            lines.append(f"  WARNING: {warning}")
+        return "\n".join(lines)
+
+
+def _level_durations(spans: SpanTracer, travel_id: int) -> dict[int, float]:
+    out: dict[int, float] = {}
+    prefix = f"travel-{travel_id}/L"
+    for span in spans.timeline_spans():
+        if span.kind != "level" or not span.name.startswith(prefix):
+            continue
+        if span.end is None:
+            continue
+        level = span.attrs.get("level")
+        if isinstance(level, int):
+            out[level] = span.end - span.start
+    return out
+
+
+def profile_traversal(
+    dag: TraversalDag,
+    plan: TraversalPlan,
+    *,
+    spans: Optional[SpanTracer] = None,
+    elapsed: Optional[float] = None,
+    result_count: Optional[int] = None,
+) -> ProfileReport:
+    """Aggregate one traversal's execution DAG into a per-step profile."""
+    durations = (
+        _level_durations(spans, dag.travel_id) if spans is not None else {}
+    )
+    by_level: dict[int, StepProfile] = {}
+
+    def step(level: int) -> StepProfile:
+        sp = by_level.get(level)
+        if sp is None:
+            sp = by_level[level] = StepProfile(level=level)
+            sp.wall_clock = durations.get(level)
+        return sp
+
+    # Make every plan level present even if no execution reached it
+    # (e.g. a filter emptied the frontier early).
+    for level in range(plan.final_level + 1):
+        step(level)
+
+    for nid in sorted(dag.nodes):
+        node = dag.nodes[nid]
+        level = node.step if node.step is not None else -1
+        sp = step(level)
+        sp.executions += 1
+        sp.processed_units += node.process_count
+        sp.retries += node.retries
+        sp.replays += node.replays
+        sp.dup_drops += node.dup_drops
+        if node.status == "lost":
+            sp.lost += 1
+        if node.server_id is not None and node.server_id >= 0:
+            sp.per_server[node.server_id] = sp.per_server.get(node.server_id, 0) + 1
+        for key in _STEP_STATS:
+            if key in node.stats:
+                sp.stats[key] = sp.stats.get(key, 0) + int(node.stats[key])
+
+    for edge in dag.edges.values():
+        if edge.parent is None:
+            continue
+        parent = dag.nodes.get(edge.parent)
+        if parent is not None and parent.step is not None:
+            step(parent.step).fan_out += edge.count
+
+    per_server: dict[int, int] = {}
+    for sp in by_level.values():
+        for server, n in sp.per_server.items():
+            per_server[server] = per_server.get(server, 0) + n
+
+    return ProfileReport(
+        travel_id=dag.travel_id,
+        status=dag.status,
+        query=plan.describe(),
+        plan=explain_plan(plan),
+        elapsed=elapsed,
+        attempts=dag.attempts,
+        steps=[by_level[level] for level in sorted(by_level)],
+        per_server=per_server,
+        warnings=list(dag.warnings),
+        trace=dag.to_payload(),
+        result_count=result_count,
+    )

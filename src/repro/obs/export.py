@@ -1,8 +1,9 @@
 """JSON export and validation for observability snapshots.
 
-One exported document bundles the metrics snapshot and the span timeline::
+One exported document bundles the metrics snapshot, the span timeline, and
+(when tracing ran) the flight-recorder event log::
 
-    {"metrics": {...}, "spans": [...]}
+    {"metrics": {...}, "spans": [...], "trace": [...]}
 
 Serialization is canonical (sorted keys, fixed separators) so identical runs
 produce identical bytes — the property the determinism tests assert.
@@ -17,6 +18,7 @@ from typing import Any, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTracer
+from repro.obs.trace import FlightRecorder
 
 
 def canonical_json(payload: Any) -> str:
@@ -24,11 +26,14 @@ def canonical_json(payload: Any) -> str:
 
 
 def observability_payload(
-    metrics: MetricsRegistry, spans: Optional[SpanTracer] = None
+    metrics: MetricsRegistry,
+    spans: Optional[SpanTracer] = None,
+    trace: Optional[FlightRecorder] = None,
 ) -> dict[str, Any]:
     return {
         "metrics": metrics.snapshot(),
         "spans": spans.timeline() if spans is not None else [],
+        "trace": trace.timeline() if trace is not None else [],
     }
 
 
@@ -36,10 +41,11 @@ def write_observability(
     path: Union[str, Path],
     metrics: MetricsRegistry,
     spans: Optional[SpanTracer] = None,
+    trace: Optional[FlightRecorder] = None,
 ) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(canonical_json(observability_payload(metrics, spans)))
+    path.write_text(canonical_json(observability_payload(metrics, spans, trace)))
     return path
 
 

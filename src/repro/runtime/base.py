@@ -113,6 +113,7 @@ class Runtime(ABC):
     #: legacy escape hatch: ``fn(src, dst, msg) -> True`` to swallow a message
     drop_filter: Optional[Callable[..., bool]] = None
     metrics = None  # bound MetricsRegistry, or None
+    trace = None  # bound FlightRecorder, or None
     channel = None  # installed ReliableChannel, or None
     fault_plan = None
     fault_injector = None
@@ -131,6 +132,12 @@ class Runtime(ABC):
     def bind_metrics(self, metrics) -> None:
         """Route ``net.*``/``faults.*`` counters to a metrics registry."""
         self.metrics = metrics
+
+    def bind_trace(self, trace) -> None:
+        """Route fault verdicts and crash/recovery events to a flight
+        recorder (only non-clean verdicts are recorded, so clean traffic
+        costs nothing beyond the enabled-flag check)."""
+        self.trace = trace
 
     def install_faults(self, plan) -> None:
         """Make ``plan`` the single fault-injection point for this runtime
@@ -185,6 +192,8 @@ class Runtime(ABC):
             return
         self._down.add(server)
         self._count("faults.crashes", server=server)
+        if self.trace is not None:
+            self.trace.record("fault.crash", server_id=server)
         for fn in self._crash_listeners:
             fn(server)
 
@@ -194,6 +203,8 @@ class Runtime(ABC):
             return
         self._down.discard(server)
         self._count("faults.recoveries", server=server)
+        if self.trace is not None:
+            self.trace.record("fault.recover", server_id=server)
         for fn in self._recovery_listeners:
             fn(server)
 
@@ -205,20 +216,51 @@ class Runtime(ABC):
         the installed fault plan. Every drop is counted (``net.dropped``)."""
         if self.is_down(src) or (dst != COORDINATOR and self.is_down(dst)):
             self._note_drop(msg, "down")
+            self._trace_verdict(src, dst, msg, "down")
             return _DROP
         if self.drop_filter is not None and self.drop_filter(src, dst, msg):
             self._note_drop(msg, "filter")
+            self._trace_verdict(src, dst, msg, "filter")
             return _DROP
         if self.fault_injector is not None:
             decision = self.fault_injector.decide(src, dst, msg)
             if decision.drop:
                 self._note_drop(msg, "fault")
+            if not decision.clean:
+                self._trace_verdict(
+                    src, dst, msg, "fault",
+                    drop=decision.drop,
+                    duplicates=decision.duplicates,
+                    extra_delay=decision.extra_delay,
+                )
             return decision
         return CLEAN
 
     def _note_drop(self, msg: Message, reason: str) -> None:
         self.messages_dropped += 1
         self._count("net.dropped", type=payload_type_name(msg), reason=reason)
+
+    def _trace_verdict(
+        self, src: ServerId, dst: ServerId, msg: Message, cause: str, **attrs: Any
+    ) -> None:
+        """Record a non-clean wire verdict. The message's payload (or the
+        frame's payload, when the reliable channel wrapped it) names the
+        affected execution if it carries one."""
+        if self.trace is None:
+            return
+        payload = getattr(msg, "payload", msg)
+        kind = "fault.drop" if attrs.get("drop") or cause in ("down", "filter") else "fault.verdict"
+        self.trace.record(
+            kind,
+            travel_id=getattr(payload, "travel_id", None),
+            exec_id=getattr(payload, "exec_id", None),
+            server_id=dst,
+            attempt=getattr(payload, "attempt", 0),
+            cause=cause,
+            src=src,
+            type=payload_type_name(msg),
+            **{k: v for k, v in attrs.items() if k != "drop"},
+        )
 
     def _count(self, name: str, n: float = 1, **labels: Any) -> None:
         if self.metrics is not None:

@@ -66,7 +66,7 @@ def test_chaos_metric_snapshots_are_deterministic(metadata_graph):
 
     cc = chaos_coordinator_config(duration)
     runs = [run_under_faults(graph, query, plan, coordinator_config=cc) for _ in range(2)]
-    (res_a, err_a, net_a), (res_b, err_b, net_b) = runs
+    (res_a, err_a, net_a, _), (res_b, err_b, net_b, _) = runs
     assert net_a == net_b
     assert res_a == res_b
     assert err_a == err_b
@@ -94,7 +94,7 @@ def test_fault_free_plan_under_channel_matches_baseline(metadata_graph):
     graph, ids = metadata_graph
     query = chaos_query(ids)
     baseline, _ = run_fault_free(graph, query)
-    res, err, net = run_under_faults(graph, query, FaultPlan(seed=0))
+    res, err, net, _ = run_under_faults(graph, query, FaultPlan(seed=0))
     assert err is None
     assert res == baseline
     assert not any(k.startswith("net.retries") for k in net)

@@ -1,0 +1,117 @@
+"""GTravel ``explain()`` and ``Client.profile()`` acceptance tests.
+
+The two query-facing halves of the tracing stack: EXPLAIN is a pure
+function of the compiled plan (no traversal runs), PROFILE reconstructs a
+rooted execution DAG that must cover 100% of recorded executions, and on
+the simulated runtime the whole report is byte-identical per
+(seed, configuration).
+"""
+
+import json
+
+from repro.cluster.client import GraphTrekClient
+from repro.engine import EngineKind
+from repro.lang import GTravel
+from repro.lang.filters import EQ
+from repro.obs.trace import validate_trace
+
+from tests.conftest import ALL_ENGINES, build_cluster
+
+
+def query_for(ids):
+    return GTravel.v(*ids["users"]).e("run").e("hasExecutions").e("read")
+
+
+def test_explain_is_structural_and_runs_no_traversal(metadata_graph):
+    graph, ids = metadata_graph
+    q = (
+        GTravel.v(*ids["users"])
+        .e("run")
+        .e("hasExecutions")
+        .va("model", EQ, "A")
+        .rtn()
+        .e("read")
+        .va("kind", EQ, "text")
+    )
+    plan = q.explain()
+    assert plan["final_level"] == 3
+    assert [s["labels"] for s in plan["steps"]] == [
+        ["run"], ["hasExecutions"], ["read"]
+    ]
+    assert plan["steps"][1]["vertex_filters"] == [
+        {"key": "model", "op": "EQ", "value": "A"}
+    ]
+    assert plan["steps"][1]["rtn"] and not plan["steps"][0]["rtn"]
+    assert plan["rtn_levels"] == [2]
+    assert plan["has_intermediate_returns"]
+    assert sorted(v for v in ids["users"]) == sorted(plan["source"]["ids"])
+    # canonical-JSON-safe: frozenset/tuple filter values already converted
+    json.dumps(plan, sort_keys=True)
+
+
+def test_explain_matches_compiled_plan_explain(metadata_graph):
+    _, ids = metadata_graph
+    q = query_for(ids)
+    assert q.explain() == q.compile().explain()
+
+
+def test_profile_reconstructs_full_dag_every_engine(metadata_graph):
+    """Acceptance: the profile's trace is a rooted DAG covering 100% of the
+    recorded executions, for all three engines."""
+    graph, ids = metadata_graph
+    for kind in ALL_ENGINES:
+        cluster = build_cluster(graph, kind)
+        client = GraphTrekClient(cluster)
+        report = client.profile(query_for(ids))
+        assert report.status == "ok", kind
+        dag_nodes = {n["exec_id"] for n in report.trace["nodes"]}
+        assert dag_nodes, kind
+        # rooted + full coverage: every recorded execution is reachable
+        dag = cluster.trace_dag(report.travel_id)
+        assert dag.reachable() == set(dag.nodes), kind
+        assert set(dag.nodes) == dag_nodes, kind
+        assert report.trace["roots"], kind
+        # per-step rows exist for every plan level, with real work attributed
+        assert [s.level for s in report.steps][:4] == [0, 1, 2, 3]
+        assert sum(s.processed_units for s in report.steps) == dag.processed_units
+        assert sum(report.per_server.values()) == len(dag.nodes)
+        # the history recorded the run like a normal query
+        assert client.history and client.history[-1].outcome is not None
+
+
+def test_profile_reports_cache_hits_and_wall_clock(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+    _, report = cluster.profile(query_for(ids))
+    final = report.steps[-1]
+    assert final.wall_clock is not None and final.wall_clock > 0
+    visited = sum(s.stats.get("vertices", 0) for s in report.steps)
+    assert visited > 0
+    assert report.result_count is not None and report.result_count > 0
+    # the formatted table renders one row per level
+    table = report.format()
+    assert table.count("\n  L") == len(report.steps)
+
+
+def test_profile_is_byte_identical_per_seed_and_config(metadata_graph):
+    graph, ids = metadata_graph
+    payloads = []
+    for _ in range(2):
+        cluster = build_cluster(graph, EngineKind.GRAPHTREK)
+        _, report = cluster.profile(query_for(ids))
+        payloads.append(report.to_json())
+        chrome = json.dumps(cluster.trace_payload(), sort_keys=True)
+        payloads.append(chrome)
+    assert payloads[0] == payloads[2]  # profile JSON
+    assert payloads[1] == payloads[3]  # Chrome trace JSON
+
+
+def test_chrome_trace_round_trips_the_validator(metadata_graph):
+    graph, ids = metadata_graph
+    cluster = build_cluster(graph, EngineKind.ASYNC, trace_enabled=True)
+    cluster.traverse(query_for(ids).compile())
+    payload = cluster.trace_payload(label="test")
+    assert payload["traceEvents"]
+    assert validate_trace(payload) == []
+    # serialization round trip preserves validity
+    assert validate_trace(json.loads(json.dumps(payload))) == []

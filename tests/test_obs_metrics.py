@@ -184,8 +184,8 @@ class TestExportValidation:
     def test_payload_bundles_metrics_and_spans(self):
         obs = Observability()
         obs.metrics.count("c")
-        payload = observability_payload(obs.metrics, obs.spans)
-        assert set(payload) == {"metrics", "spans"}
+        payload = observability_payload(obs.metrics, obs.spans, obs.trace)
+        assert set(payload) == {"metrics", "spans", "trace"}
         assert canonical_json(payload) == obs.to_json()
 
     def test_validate_flags_nan_and_empty(self):

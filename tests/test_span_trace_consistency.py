@@ -1,0 +1,75 @@
+"""Differential check between the two observability layers.
+
+PR 1's span tracer and this PR's flight recorder observe the same traversal
+through independent code paths: spans are opened/closed by the engines'
+work loop, trace events by the lifecycle instrumentation. They must agree —
+the number of ``unit`` spans under a traversal's span tree equals the DAG's
+``processed_units`` (the count of ``exec.terminated(reason="ok")``
+records). A divergence means one layer missed or double-counted work.
+"""
+
+from repro.cluster.coordinator import CoordinatorConfig
+from repro.engine import EngineKind
+from repro.faults.plan import sample_fault_plan
+from repro.lang import GTravel
+from repro.obs.trace import unit_span_count
+
+from tests.conftest import ALL_ENGINES, build_cluster
+
+
+def query_for(ids):
+    return GTravel.v(*ids["users"]).e("run").e("hasExecutions").e("read")
+
+
+def run_traced(graph, query, kind, **cfg):
+    cluster = build_cluster(graph, kind, trace_enabled=True, **cfg)
+    outcome = cluster.traverse(query.compile())
+    travel_id = outcome.result.travel_id
+    dag = cluster.trace_dag(travel_id)
+    return cluster, dag, travel_id
+
+
+def test_unit_spans_match_processed_units_every_engine(metadata_graph):
+    graph, ids = metadata_graph
+    for kind in ALL_ENGINES:
+        cluster, dag, travel_id = run_traced(graph, query_for(ids), kind)
+        spans = cluster.board.obs.spans
+        assert unit_span_count(spans, travel_id) == dag.processed_units, (
+            f"{kind.value}: span tracer and flight recorder disagree on "
+            f"processed work units"
+        )
+        assert dag.processed_units > 0, kind
+
+
+def test_unit_spans_match_under_wire_faults(metadata_graph):
+    """Retries, duplicate deliveries, and fine-grained replays must not
+    desynchronize the two layers: a duplicate that is deduped produces
+    neither a unit span nor an ok-termination; a replayed execution
+    produces exactly one of each per actual processing."""
+    graph, ids = metadata_graph
+    plan = sample_fault_plan(7, nservers=3, max_drop=0.15, max_duplicate=0.15)
+    cc = CoordinatorConfig(
+        exec_timeout=1.0, watch_interval=0.25, fine_grained_recovery=True
+    )
+    for kind in (EngineKind.GRAPHTREK, EngineKind.ASYNC):
+        cluster, dag, travel_id = run_traced(
+            graph,
+            query_for(ids),
+            kind,
+            fault_plan=plan,
+            reliable=True,
+            coordinator_config=cc,
+        )
+        spans = cluster.board.obs.spans
+        assert unit_span_count(spans, travel_id) == dag.processed_units, (
+            f"{kind.value}: layers diverged under faults"
+        )
+
+
+def test_processed_units_stable_across_identical_runs(metadata_graph):
+    graph, ids = metadata_graph
+    counts = []
+    for _ in range(2):
+        _, dag, _ = run_traced(graph, query_for(ids), EngineKind.GRAPHTREK)
+        counts.append(dag.processed_units)
+    assert counts[0] == counts[1]
