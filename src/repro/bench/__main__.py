@@ -42,6 +42,7 @@ EXPERIMENTS = {
     "table3": lambda env: exp.exp_table3(),
     "concurrent": lambda env: exp.exp_concurrent_traversals(env),
     "ablation_opts": lambda env: exp.exp_ablation_optimizations(env),
+    "planner": lambda env: exp.exp_ablation_planner(env),
     "ablation_partition": lambda env: exp.exp_ablation_partitioning(env),
     "ablation_layout": lambda env: exp.exp_ablation_layout(),
     "chaos": lambda env: exp.exp_chaos(env),

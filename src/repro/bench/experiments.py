@@ -426,6 +426,84 @@ def exp_ablation_optimizations(env: Optional[BenchEnvironment] = None) -> Experi
     return ExperimentResult("ablation_opts", cells, rendered, checks)
 
 
+def exp_ablation_planner(env: Optional[BenchEnvironment] = None) -> ExperimentResult:
+    """Planner ablation: off / rules / cost on the two motivating queries.
+
+    The Darshan audit scan is written forwards from the huge Execution set;
+    the cost planner reverses it to start from the far smaller filtered File
+    set. The 8-step RMAT chain has an unfiltered final hop, which the rule
+    planner short-circuits (no final-level visits).
+    """
+    from repro.engine import EngineOptions, graphtrek_options
+    from repro.workloads import audit_scan_query
+
+    env = env or BenchEnvironment.from_env()
+    nservers = max(env.servers)
+    audit_graph = harness.darshan_graph(
+        scale_users=max(16, env.scale * 8), seed=42
+    ).graph
+    workloads = {
+        "audit": (audit_graph, audit_scan_query().compile()),
+        "kstep8": (
+            harness.rmat1_graph(env.scale, env.edge_factor, env.seed),
+            harness.kstep_plan(env, 8),
+        ),
+    }
+    modes = ("off", "rules", "cost")
+    rows: dict[str, str] = {}
+    cells = []
+    for workload, (graph, plan) in workloads.items():
+        for mode in modes:
+            opts: EngineOptions = graphtrek_options(planner=mode)
+            cell = harness.run_cell(graph, plan, opts, nservers)
+            cell.engine = f"{workload}-{mode}"
+            cells.append(cell)
+            visits = (
+                cell.real_io_visits + cell.combined_visits + cell.redundant_visits
+            )
+            rows[cell.engine] = (
+                f"{report.fmt_time(cell.elapsed)}  ({visits} visits)"
+            )
+    by = {c.engine: c for c in cells}
+
+    def _visits(cell: Cell) -> int:
+        return cell.real_io_visits + cell.combined_visits + cell.redundant_visits
+
+    checks = [
+        ShapeCheck(
+            "audit_cost_fewer_visits",
+            _visits(by["audit-cost"]) < _visits(by["audit-off"]),
+            f"audit cost {_visits(by['audit-cost'])} visits < "
+            f"off {_visits(by['audit-off'])}",
+        ),
+        ShapeCheck(
+            "audit_cost_faster",
+            by["audit-cost"].elapsed < by["audit-off"].elapsed,
+            f"audit cost {report.fmt_time(by['audit-cost'].elapsed)} vs off "
+            f"{report.fmt_time(by['audit-off'].elapsed)}",
+        ),
+        ShapeCheck(
+            "kstep_cost_faster",
+            by["kstep8-cost"].elapsed < by["kstep8-off"].elapsed,
+            f"kstep8 cost {report.fmt_time(by['kstep8-cost'].elapsed)} vs off "
+            f"{report.fmt_time(by['kstep8-off'].elapsed)}",
+        ),
+        ShapeCheck(
+            "rules_never_slower_than_off",
+            by["audit-rules"].elapsed <= by["audit-off"].elapsed * 1.02
+            and by["kstep8-rules"].elapsed <= by["kstep8-off"].elapsed * 1.02,
+            f"audit rules {report.fmt_time(by['audit-rules'].elapsed)} vs off "
+            f"{report.fmt_time(by['audit-off'].elapsed)}; kstep8 rules "
+            f"{report.fmt_time(by['kstep8-rules'].elapsed)} vs off "
+            f"{report.fmt_time(by['kstep8-off'].elapsed)}",
+        ),
+    ]
+    rendered = report.kv_table(
+        f"Ablation — query planner (off/rules/cost) on {nservers} servers", rows
+    )
+    return ExperimentResult("ablation_planner", cells, rendered, checks)
+
+
 def exp_concurrent_traversals(
     env: Optional[BenchEnvironment] = None, depths: tuple[int, ...] = (2, 4, 6, 8)
 ) -> ExperimentResult:

@@ -24,6 +24,8 @@ from repro.cluster.server import BackendServer
 from repro.errors import SimulationError
 from repro.faults.plan import FaultPlan
 from repro.graph.builder import PropertyGraph
+from repro.graph.stats import GraphSummary
+from repro.lang.optimizer import QueryPlanner
 from repro.ids import COORDINATOR, ServerId, TravelId
 from repro.net.reliable import ReliableChannel, ReliableConfig
 from repro.lang.gtravel import GTravel
@@ -143,15 +145,44 @@ class Cluster:
             cost_model=config.disk_model,
         )
 
+        # Planner provisioning. "rules"/"cost" build per-server statistics
+        # summaries at load time (the coordinator plans over their merge);
+        # "cost" additionally materializes reverse adjacency (~label edge
+        # records) so reversed chains are executable.
+        planner: Optional[QueryPlanner] = None
+        reverse_index: Optional[dict[int, list]] = None
+        summaries: list[GraphSummary] = []
+        if opts.planner != "off":
+            if opts.planner == "cost":
+                reverse_index = {}
+                for vid in sorted(graph.vertex_ids()):
+                    for label, dst, eprops in graph.out_edges(vid):
+                        reverse_index.setdefault(dst, []).append(
+                            (label, vid, eprops)
+                        )
+
         servers: list[BackendServer] = []
         for server_id in range(config.nservers):
             ctx = runtime.context(server_id)
             store = GraphStore(replace(lsm_config), edge_layout=config.edge_layout)
-            store.load_partition(graph, assignment[server_id])
+            store.load_partition(
+                graph, assignment[server_id], reverse_index=reverse_index
+            )
+            if opts.planner != "off":
+                summaries.append(
+                    GraphSummary.from_graph(graph, assignment[server_id])
+                )
             engine_cls = SyncServerEngine if opts.kind is EngineKind.SYNC else AsyncServerEngine
             engine = engine_cls(ctx, store, registry, partitioner.owner, opts, board)
             runtime.register_handler(server_id, engine.on_message)
             servers.append(BackendServer(server_id, ctx, store, engine))
+
+        if opts.planner != "off":
+            planner = QueryPlanner(
+                mode=opts.planner,
+                summary=GraphSummary.merged(summaries),
+                reverse_available=reverse_index is not None,
+            )
 
         channel: Optional[ReliableChannel] = None  # assigned below if reliable
 
@@ -170,6 +201,7 @@ class Cluster:
             engine_kind=opts.kind,
             config=config.coordinator_config,
             on_complete=_forget,
+            planner=planner,
         )
         runtime.register_coordinator(coordinator.on_message)
 
@@ -330,6 +362,19 @@ class Cluster:
 
         return chrome_trace(self.board.obs.trace, label=label)
 
+    def explain(self, query: Union[GTravel, TraversalPlan]) -> dict:
+        """EXPLAIN against *this* cluster's planner: when a planner mode is
+        configured, the document shows original vs. optimized plan with the
+        applied rewrites and (in ``cost`` mode) per-level cost estimates;
+        with the planner off it is the plain plan document. No traversal
+        runs."""
+        from repro.obs.explain import explain_plan, explain_planned
+
+        plan = self._compile(query)
+        if self.coordinator.planner is not None:
+            return explain_planned(self.coordinator.planner.plan(plan))
+        return explain_plan(plan)
+
     def profile(
         self,
         query: Union[GTravel, TraversalPlan],
@@ -342,19 +387,30 @@ class Cluster:
 
         The report carries per-step fan-out, visit/cache attribution,
         per-server execution counts and skew, wall-clock per step on the
-        virtual clock, and the full reconstructed trace. Deterministic per
-        (seed, config) on the simulated runtime.
+        virtual clock, and the full reconstructed trace — plus, when a
+        planner is configured, the rewrite audit trail and estimated-vs-
+        actual cardinality rows. Deterministic per (seed, config) on the
+        simulated runtime.
         """
         from repro.errors import TraversalFailed
         from repro.obs.explain import profile_traversal
 
         self.enable_tracing()
         plan = self._compile(query)
+        # re-planning here is safe: the planner is pure, so this PlannedQuery
+        # matches the one the coordinator derives at submit time
+        planned = (
+            self.coordinator.planner.plan(plan)
+            if self.coordinator.planner is not None
+            else None
+        )
         try:
             outcome = self.traverse(plan, cold=cold, limit=limit)
         except TraversalFailed as err:
             dag = self.trace_dag(err.travel_id)
-            report = profile_traversal(dag, plan, spans=self.board.obs.spans)
+            report = profile_traversal(
+                dag, plan, spans=self.board.obs.spans, planned=planned
+            )
             return None, report
         travel_id = outcome.result.travel_id
         dag = self.trace_dag(travel_id)
@@ -364,6 +420,7 @@ class Cluster:
             spans=self.board.obs.spans,
             elapsed=outcome.stats.elapsed,
             result_count=len(outcome.result.vertices),
+            planned=planned,
         )
         return outcome, report
 

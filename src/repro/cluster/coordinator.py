@@ -27,6 +27,7 @@ from repro.engine.statistics import StatsBoard
 from repro.engine.tracing import ExecTracker, SyncBarrierState
 from repro.errors import TraversalFailed
 from repro.ids import COORDINATOR, IdAllocator, ServerId, TravelId, VertexId
+from repro.lang.optimizer import PlannedQuery, QueryPlanner
 from repro.lang.plan import TraversalPlan
 from repro.obs.trace import sync_exec_id
 from repro.net.message import (
@@ -89,9 +90,12 @@ class ActiveTravel:
     stream_chunks: int = 0
     streamer_busy: bool = False
     stream_done_time: float = 0.0
+    #: the planner's audit trail; None when the traversal runs as written
+    planned: Optional[PlannedQuery] = None
 
     @property
     def plan(self) -> TraversalPlan:
+        """The *executed* plan (post-rewrite when a planner is active)."""
         return self.entry.plan
 
 
@@ -108,6 +112,7 @@ class Coordinator:
         engine_kind: EngineKind,
         config: Optional[CoordinatorConfig] = None,
         on_complete: Optional[Callable[[TravelId], None]] = None,
+        planner: Optional[QueryPlanner] = None,
     ):
         self.ctx = ctx
         self.runtime = runtime
@@ -120,6 +125,7 @@ class Coordinator:
         self.engine_kind = engine_kind
         self.config = config or CoordinatorConfig()
         self.on_complete = on_complete
+        self.planner = planner
         self._active: dict[TravelId, ActiveTravel] = {}
         self._travel_ids = IdAllocator(1)
         self._next_exec = itertools.count((ctx.nservers + 1) << 32)
@@ -131,9 +137,23 @@ class Coordinator:
     # -- submission --------------------------------------------------------
 
     def submit(self, plan: TraversalPlan):
-        """Register and launch a traversal; returns (travel_id, event)."""
+        """Register and launch a traversal; returns (travel_id, event).
+
+        The coordinator plans *once*: when a planner is configured, the
+        rewritten plan is what gets registered and shipped to every server
+        (restarts re-dispatch the same executed plan — no replanning
+        mid-traversal)."""
         travel_id = self._travel_ids.next()
-        entry = self.registry.register(travel_id, plan)
+        planned: Optional[PlannedQuery] = None
+        executed = plan
+        if self.planner is not None:
+            planned = self.planner.plan(plan)
+            executed = planned.executed
+            if planned.mode != "off":
+                self.metrics.count("planner.planned")
+                for rewrite in planned.rewrites:
+                    self.metrics.count(f"planner.rewrite.{rewrite.name}")
+        entry = self.registry.register(travel_id, executed)
         event = self.runtime.completion_event()
         tracker: Union[ExecTracker, SyncBarrierState]
         tracker = SyncBarrierState() if self.is_sync else ExecTracker()
@@ -143,18 +163,20 @@ class Coordinator:
             submit_time=self.ctx.now(),
             client_event=event,
             tracker=tracker,
+            planned=planned,
         )
         self._active[travel_id] = at
         self.metrics.count("coord.submitted")
         self.spans.travel_span(
-            travel_id, engine=self.engine_kind.value, steps=plan.final_level
+            travel_id, engine=self.engine_kind.value, steps=executed.final_level
         )
         self.trace.record(
             "travel.submit",
             travel_id=travel_id,
             server_id=self.ctx.server_id,
             engine=self.engine_kind.value,
-            steps=plan.final_level,
+            steps=executed.final_level,
+            planner_mode=planned.mode if planned is not None else "off",
         )
         self._dispatch(at)
         self.ctx.spawn(self._watchdog(at), name=f"watchdog-{travel_id}")
@@ -326,7 +348,9 @@ class Coordinator:
         barrier.results_expected += msg.results_sent
         if len(barrier.done_servers) < self.ctx.nservers:
             return
-        if barrier.level >= at.plan.final_level:
+        # a short-circuited final step never runs its own barrier round —
+        # the level n-1 senders already shipped the final results
+        if barrier.level >= at.plan.effective_final_level:
             barrier.finished_steps = True
             self._check_complete(at)
             return
@@ -446,9 +470,16 @@ class Coordinator:
             results=total_results,
             restarts=stats.restarts,
         )
+        # a reversed plan returns levels in its own numbering; map them back
+        # to the original chain's levels before the client sees them
+        returned: dict[int, set[VertexId]] = at.returned
+        if at.planned is not None and at.planned.level_map:
+            returned = {}
+            for lvl, vids in at.returned.items():
+                returned.setdefault(at.planned.map_level(lvl), set()).update(vids)
         result = TraversalResult(
             travel_id=at.travel_id,
-            returned={lvl: frozenset(v) for lvl, v in at.returned.items()},
+            returned={lvl: frozenset(v) for lvl, v in returned.items()},
         )
         del self._active[at.travel_id]
         self.registry.unregister(at.travel_id)
@@ -456,7 +487,13 @@ class Coordinator:
             self.on_complete(at.travel_id)
         from repro.engine.base import TraversalOutcome
 
-        at.client_event.succeed(TraversalOutcome(result=result, stats=stats, plan=at.plan))
+        original = at.planned.original if at.planned is not None else at.plan
+        executed = at.plan if original is not at.plan else None
+        at.client_event.succeed(
+            TraversalOutcome(
+                result=result, stats=stats, plan=original, executed_plan=executed
+            )
+        )
 
     # -- failure detection and restart (paper §IV-C) ------------------------------------
 

@@ -372,12 +372,22 @@ class AsyncServerEngine:
         levels = [lvl for lvl, _ in todo]
         want_labels = labels_needed(plan, levels)
         want_props = needs_props(plan, levels, level0_override)
+        edge_preds: Optional[dict[str, FilterSet]] = None
+        if plan.pushdown and len(todo) == 1 and level < plan.final_level:
+            # predicate pushdown: single-level visits hand the step's edge
+            # filters to the storage scan (merged multi-level visits keep
+            # the unfiltered block — other levels may need other edges)
+            step = plan.steps[level]
+            if step.edge_filters:
+                edge_preds = {l: step.edge_filters for l in step.labels}
         if not want_labels and not want_props:
             # Nothing to read (e.g. unfiltered final level): served from the
             # request itself, still one real visit for accounting.
             data = None
         else:
-            data = read_vertex(self.store, vid, want_labels, want_props)
+            data = read_vertex(
+                self.store, vid, want_labels, want_props, edge_preds
+            )
             cost = data.cost
             if not first_in_batch and cost.seeks:
                 cost.seeks *= self.opts.batch_seek_factor

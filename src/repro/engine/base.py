@@ -103,3 +103,5 @@ class TraversalOutcome:
     result: TraversalResult
     stats: TraversalStats
     plan: Optional[TraversalPlan] = None
+    #: the plan as rewritten by the planner, when it differs from ``plan``
+    executed_plan: Optional[TraversalPlan] = None

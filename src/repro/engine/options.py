@@ -50,6 +50,11 @@ class EngineOptions:
     #: serving a key-ordered batch approximates an elevator pass over the
     #: SSTables, so later seeks are cheaper. 1.0 disables the effect.
     batch_seek_factor: float = 0.45
+    #: plan-time optimizer mode: "off" executes chains as written (the
+    #: paper's behaviour), "rules" applies statistics-free rewrites (filter
+    #: fusion, predicate pushdown, final-step short-circuit), "cost" adds
+    #: statistics-driven chain reversal with per-level cost estimates.
+    planner: str = "off"
 
     @property
     def is_async(self) -> bool:

@@ -191,13 +191,21 @@ class SyncServerEngine:
         sinks = ExpandSinks()
         want_labels = labels_needed(plan, [level])
         want_props = needs_props(plan, [level], level0_override)
+        edge_preds: Optional[dict[str, FilterSet]] = None
+        if plan.pushdown and level < plan.final_level:
+            # predicate pushdown: hand the step's edge filters to the scan
+            step_ = plan.steps[level]
+            if step_.edge_filters:
+                edge_preds = {l: step_.edge_filters for l in step_.labels}
         first_in_batch = True
         n_real = 0
         for vid, anchors in items:
             if not self.store.has_vertex(vid):
                 continue
             if want_labels or want_props:
-                data = read_vertex(self.store, vid, want_labels, want_props)
+                data = read_vertex(
+                    self.store, vid, want_labels, want_props, edge_preds
+                )
                 cost = data.cost
                 if not first_in_batch and cost.seeks:
                     cost.seeks *= self.opts.batch_seek_factor

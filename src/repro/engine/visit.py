@@ -64,10 +64,25 @@ def filters_at(
     return plan.steps[level - 1].vertex_filters
 
 
+def fs_needs_props(fs: FilterSet) -> bool:
+    """True if evaluating ``fs`` needs the attribute block: the vertex type
+    is known from the location index, so a type-only filter set does not."""
+    return any(f.key != "type" for f in fs.filters)
+
+
 def needs_props(
     plan: TraversalPlan, levels: list[int], level0_override: Optional[FilterSet]
 ) -> bool:
-    return any(bool(filters_at(plan, lvl, level0_override)) for lvl in levels)
+    for lvl in levels:
+        fs = filters_at(plan, lvl, level0_override)
+        if not fs:
+            continue
+        if plan.pushdown and not fs_needs_props(fs):
+            # planner annotation: elide the attribute scan when only the
+            # key-encoded type is filtered (expand_vertex injects it)
+            continue
+        return True
+    return False
 
 
 def read_vertex(
@@ -75,13 +90,16 @@ def read_vertex(
     vid: VertexId,
     want_labels: set[str],
     want_props: bool,
+    edge_preds: Optional[dict[str, FilterSet]] = None,
 ) -> VisitData:
     """Perform the (single) storage access for a visit.
 
     One label → one sequential edge scan; several labels → one scan over the
     vertex's whole edge block (the layout keeps all its edges adjacent), as
     execution merging requires. Attribute scan added only when filters need
-    properties.
+    properties. ``edge_preds`` (label → edge FilterSet) pushes predicates
+    into the storage scan — safe because :func:`expand_vertex` re-applies
+    every edge filter to whatever surfaces.
     """
     cost = IOCost()
     props: Optional[dict[str, Any]] = None
@@ -89,19 +107,38 @@ def read_vertex(
         props, c = store.vertex_props(vid)
         cost += c
     edges: EdgesByLabel = {}
-    if len(want_labels) == 1:
-        label = next(iter(want_labels))
-        targets, c = store.edges(vid, label)
+    # Reverse (~label) adjacency lives in its own grouped key region, so it
+    # is always read per label; forward labels keep the merged-scan path.
+    rev_labels = sorted(l for l in want_labels if l.startswith("~"))
+    fwd_labels = {l for l in want_labels if not l.startswith("~")}
+
+    def _pred(label: str):
+        if edge_preds:
+            fs = edge_preds.get(label)
+            if fs:
+                return fs.matches
+        return None
+
+    if len(fwd_labels) == 1:
+        label = next(iter(fwd_labels))
+        targets, c = store.edges(vid, label, _pred(label))
         cost += c
         edges[label] = targets
-    elif want_labels:
-        all_edges, c = store.all_edges(vid)
+    elif fwd_labels:
+        preds = None
+        if edge_preds:
+            preds = {l: fs.matches for l, fs in edge_preds.items() if fs} or None
+        all_edges, c = store.all_edges(vid, preds)
         cost += c
         for label, dst, eprops in all_edges:
-            if label in want_labels:
+            if label in fwd_labels:
                 edges.setdefault(label, []).append((dst, eprops))
-        for label in want_labels:
+        for label in fwd_labels:
             edges.setdefault(label, [])
+    for label in rev_labels:
+        targets, c = store.edges(vid, label, _pred(label))
+        cost += c
+        edges[label] = targets
     return VisitData(props=props, edges=edges, cost=cost)
 
 
@@ -142,9 +179,17 @@ def expand_vertex(
         return "final"
     step = plan.steps[level]
     next_level = level + 1
+    # planner annotation: a filter-free final step needs no dispatch — the
+    # sender records destinations directly (legal because the planner only
+    # sets the flag when the final step has no vertex filters and no
+    # intermediate rtn marks compete for the anchors machinery)
+    short_circuit = plan.short_circuit_final and next_level == plan.final_level
     for label in step.labels:
         for dst, eprops in data.edges.get(label, ()):
             if step.edge_filters and not step.edge_filters.matches(eprops):
+                continue
+            if short_circuit:
+                sinks.final_results.add(dst)
                 continue
             bucket = sinks.out.setdefault((next_level, owner_fn(dst)), {})
             merge_entry(bucket, dst, anchors)

@@ -6,6 +6,9 @@ from repro.graph.property import props_size_bytes, validate_props
 from repro.graph.schema import EdgeRule, Schema, hpc_metadata_schema
 from repro.graph.stats import (
     DegreeStats,
+    GraphSummary,
+    LabelStats,
+    PropertySketch,
     degree_histogram,
     degree_stats,
     effective_diameter_sample,
@@ -29,6 +32,9 @@ __all__ = [
     "props_size_bytes",
     "validate_props",
     "DegreeStats",
+    "GraphSummary",
+    "LabelStats",
+    "PropertySketch",
     "degree_histogram",
     "degree_stats",
     "effective_diameter_sample",

@@ -1,19 +1,32 @@
-"""Graph statistics: degree distributions, power-law fits, imbalance.
+"""Graph statistics: degree distributions, power-law fits, imbalance —
+plus the per-server summary statistics the cost-based planner consumes.
 
 The paper motivates asynchrony with the small-world / power-law structure of
 HPC metadata graphs; these helpers quantify that structure for generated
 workloads (and back the Table II report).
+
+The second half of the module (``PropertySketch`` / ``LabelStats`` /
+``GraphSummary``) is the planner's substrate: cheap, mergeable summaries a
+server can compute over its own partition — vertex-type histograms, per-label
+edge counts with source/destination type breakdowns, and bounded
+property-value sketches — from which :mod:`repro.lang.optimizer` estimates
+per-step selectivities and cardinalities. Everything is deterministic per
+(graph, vertex order): building the same summary twice yields byte-identical
+``to_json()`` payloads.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
 
 import numpy as np
 
 from repro.graph.builder import PropertyGraph
+from repro.lang.filters import FilterOp, FilterSet, PropertyFilter
 
 
 @dataclass(frozen=True)
@@ -163,3 +176,387 @@ def effective_diameter_sample(
     if not dists:
         return 0.0
     return float(np.percentile(np.array(dists), 90))
+
+
+# -- planner statistics (property sketches, label stats, graph summary) --------
+
+#: distinct values a sketch tracks exactly before lumping the tail into
+#: ``other`` — large enough to hold every categorical property of the Darshan
+#: workload exactly, small enough to stay cheap on high-cardinality keys.
+SKETCH_TRACK_CAP = 64
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass
+class PropertySketch:
+    """A bounded summary of one property's value distribution.
+
+    ``population`` is the number of entities in scope (vertices of the type,
+    or edges of the label) — *not* the number carrying the key — so
+    ``count / population`` directly estimates match probability, and a
+    missing key (which never matches a filter) costs selectivity naturally.
+    Up to :data:`SKETCH_TRACK_CAP` distinct values are counted exactly;
+    the tail is lumped into ``other`` with a distinct-count estimate.
+    Every estimator is total: empty sketches return 0.0, never a
+    ``ZeroDivisionError``.
+    """
+
+    population: int = 0
+    present: int = 0
+    counts: dict[Any, int] = field(default_factory=dict)
+    other: int = 0
+    other_distinct: int = 0
+    numeric_count: int = 0
+    numeric_min: Optional[float] = None
+    numeric_max: Optional[float] = None
+
+    @classmethod
+    def from_counter(cls, counter: Counter, population: int) -> "PropertySketch":
+        sketch = cls(population=population, present=sum(counter.values()))
+        numeric = [v for v in counter if _is_numeric(v)]
+        if numeric:
+            sketch.numeric_count = sum(counter[v] for v in numeric)
+            sketch.numeric_min = float(min(numeric))
+            sketch.numeric_max = float(max(numeric))
+        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        sketch.counts = dict(ranked[:SKETCH_TRACK_CAP])
+        tail = ranked[SKETCH_TRACK_CAP:]
+        sketch.other = sum(c for _, c in tail)
+        sketch.other_distinct = len(tail)
+        return sketch
+
+    def merge(self, other: "PropertySketch") -> "PropertySketch":
+        counter: Counter = Counter(self.counts)
+        counter.update(other.counts)
+        merged = PropertySketch.from_counter(
+            counter, self.population + other.population
+        )
+        # carry through the already-lumped tails (their identities are gone)
+        merged.present += self.other + other.other
+        merged.other += self.other + other.other
+        merged.other_distinct += self.other_distinct + other.other_distinct
+        for src in (self, other):
+            if src.numeric_min is None:
+                continue
+            merged.numeric_min = (
+                src.numeric_min
+                if merged.numeric_min is None
+                else min(merged.numeric_min, src.numeric_min)
+            )
+            merged.numeric_max = (
+                src.numeric_max
+                if merged.numeric_max is None
+                else max(merged.numeric_max, src.numeric_max)
+            )
+        return merged
+
+    # -- selectivity estimators (all zero-division safe) -------------------
+
+    def eq_selectivity(self, value: Any) -> float:
+        if self.population <= 0:
+            return 0.0
+        try:
+            hit = self.counts.get(value)
+        except TypeError:  # unhashable probe value
+            hit = None
+        if hit is not None:
+            return hit / self.population
+        if self.other > 0:
+            # an untracked value: assume it is one of the lumped tail values
+            return self.other / (self.population * max(self.other_distinct, 1))
+        return 0.0
+
+    def in_selectivity(self, values: Iterable[Any]) -> float:
+        return min(1.0, sum(self.eq_selectivity(v) for v in set(values)))
+
+    def range_selectivity(self, lo: Any, hi: Any) -> float:
+        if self.population <= 0:
+            return 0.0
+        exact = 0
+        for value, count in self.counts.items():
+            try:
+                if lo <= value <= hi:
+                    exact += count
+            except TypeError:
+                continue
+        sel = exact / self.population
+        if self.other > 0 and self.numeric_count > 0:
+            # spread the lumped tail uniformly over the observed numeric span
+            sel += (self.other / self.population) * self._span_overlap(lo, hi)
+        return min(1.0, sel)
+
+    def _span_overlap(self, lo: Any, hi: Any) -> float:
+        if self.numeric_min is None or self.numeric_max is None:
+            return 0.0
+        try:
+            qlo, qhi = float(lo), float(hi)
+        except (TypeError, ValueError):
+            return 0.0
+        span = self.numeric_max - self.numeric_min
+        if span <= 0.0:
+            return 1.0 if qlo <= self.numeric_min <= qhi else 0.0
+        overlap = min(qhi, self.numeric_max) - max(qlo, self.numeric_min)
+        return max(0.0, min(1.0, overlap / span))
+
+    def selectivity(self, flt: PropertyFilter) -> float:
+        if flt.op is FilterOp.EQ:
+            return self.eq_selectivity(flt.value)
+        if flt.op is FilterOp.IN:
+            return self.in_selectivity(flt.value)
+        lo, hi = flt.value
+        return self.range_selectivity(lo, hi)
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "population": self.population,
+            "present": self.present,
+            "counts": sorted(
+                ([repr(v), c] for v, c in self.counts.items()),
+                key=lambda vc: (-vc[1], vc[0]),
+            ),
+            "other": self.other,
+            "other_distinct": self.other_distinct,
+            "numeric_count": self.numeric_count,
+            "numeric_min": self.numeric_min,
+            "numeric_max": self.numeric_max,
+        }
+
+
+@dataclass
+class LabelStats:
+    """Per-edge-label statistics: counts, endpoint type histograms, and
+    edge-property sketches. ``reversed_view()`` transposes endpoints so the
+    planner can cost a ``~label`` (reverse-edge) traversal from the same
+    numbers."""
+
+    label: str
+    count: int = 0
+    src_type_counts: dict[str, int] = field(default_factory=dict)
+    dst_type_counts: dict[str, int] = field(default_factory=dict)
+    src_distinct_by_type: dict[str, int] = field(default_factory=dict)
+    dst_distinct_by_type: dict[str, int] = field(default_factory=dict)
+    sketches: dict[str, PropertySketch] = field(default_factory=dict)
+
+    def reversed_view(self) -> "LabelStats":
+        return LabelStats(
+            label="~" + self.label,
+            count=self.count,
+            src_type_counts=self.dst_type_counts,
+            dst_type_counts=self.src_type_counts,
+            src_distinct_by_type=self.dst_distinct_by_type,
+            dst_distinct_by_type=self.src_distinct_by_type,
+            sketches=self.sketches,
+        )
+
+    def edge_selectivity(self, filters: FilterSet) -> float:
+        sel = 1.0
+        for flt in filters.filters:
+            sketch = self.sketches.get(flt.key)
+            sel *= sketch.selectivity(flt) if sketch is not None else 0.0
+        return sel
+
+    def merge(self, other: "LabelStats") -> "LabelStats":
+        def _sum(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
+            out = dict(a)
+            for k, v in b.items():
+                out[k] = out.get(k, 0) + v
+            return out
+
+        sketches = dict(self.sketches)
+        for key, sk in other.sketches.items():
+            mine = sketches.get(key)
+            if mine is None:
+                # pad population so count/population stays an edge fraction
+                mine = PropertySketch(population=self.count)
+            sketches[key] = mine.merge(sk)
+        for key, sk in self.sketches.items():
+            if key not in other.sketches:
+                sketches[key] = sk.merge(PropertySketch(population=other.count))
+        return LabelStats(
+            label=self.label,
+            count=self.count + other.count,
+            src_type_counts=_sum(self.src_type_counts, other.src_type_counts),
+            dst_type_counts=_sum(self.dst_type_counts, other.dst_type_counts),
+            # sources are partition-local, so summing is exact; destinations
+            # may repeat across partitions, so the sum over-estimates —
+            # acceptable for costing (documented in DESIGN.md §10)
+            src_distinct_by_type=_sum(
+                self.src_distinct_by_type, other.src_distinct_by_type
+            ),
+            dst_distinct_by_type=_sum(
+                self.dst_distinct_by_type, other.dst_distinct_by_type
+            ),
+            sketches=sketches,
+        )
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "count": self.count,
+            "src_type_counts": dict(sorted(self.src_type_counts.items())),
+            "dst_type_counts": dict(sorted(self.dst_type_counts.items())),
+            "src_distinct_by_type": dict(sorted(self.src_distinct_by_type.items())),
+            "dst_distinct_by_type": dict(sorted(self.dst_distinct_by_type.items())),
+            "sketches": {
+                k: self.sketches[k].payload() for k in sorted(self.sketches)
+            },
+        }
+
+
+@dataclass
+class GraphSummary:
+    """The planner's view of one partition (or, merged, the whole graph)."""
+
+    total_vertices: int = 0
+    type_counts: dict[str, int] = field(default_factory=dict)
+    #: vertex type -> property key -> sketch (population = vertices of type)
+    vertex_sketches: dict[str, dict[str, PropertySketch]] = field(default_factory=dict)
+    labels: dict[str, LabelStats] = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(
+        cls, graph: PropertyGraph, vids: Optional[Iterable[int]] = None
+    ) -> "GraphSummary":
+        """Deterministically summarize ``vids`` (default: every vertex).
+
+        Destination types come from the global graph, matching what a server
+        learns from dispatch traffic; everything else is partition-local.
+        """
+        scope = sorted(vids) if vids is not None else sorted(graph.vertex_ids())
+        type_counts: dict[str, int] = {}
+        prop_counters: dict[str, dict[str, Counter]] = {}
+        label_counts: dict[str, int] = {}
+        src_types: dict[str, Counter] = {}
+        dst_types: dict[str, Counter] = {}
+        src_seen: dict[str, dict[str, set]] = {}
+        dst_seen: dict[str, dict[str, set]] = {}
+        edge_counters: dict[str, dict[str, Counter]] = {}
+        for vid in scope:
+            vertex = graph.vertex(vid)
+            vtype = vertex.vtype
+            type_counts[vtype] = type_counts.get(vtype, 0) + 1
+            counters = prop_counters.setdefault(vtype, {})
+            for key, value in vertex.props.items():
+                counters.setdefault(key, Counter())[value] += 1
+            for label, dst, eprops in graph.out_edges(vid):
+                label_counts[label] = label_counts.get(label, 0) + 1
+                src_types.setdefault(label, Counter())[vtype] += 1
+                dtype = graph.vertex(dst).vtype
+                dst_types.setdefault(label, Counter())[dtype] += 1
+                src_seen.setdefault(label, {}).setdefault(vtype, set()).add(vid)
+                dst_seen.setdefault(label, {}).setdefault(dtype, set()).add(dst)
+                ecounters = edge_counters.setdefault(label, {})
+                for key, value in eprops.items():
+                    ecounters.setdefault(key, Counter())[value] += 1
+        vertex_sketches = {
+            vtype: {
+                key: PropertySketch.from_counter(counter, type_counts[vtype])
+                for key, counter in sorted(prop_counters.get(vtype, {}).items())
+            }
+            for vtype in sorted(type_counts)
+        }
+        labels = {}
+        for label in sorted(label_counts):
+            labels[label] = LabelStats(
+                label=label,
+                count=label_counts[label],
+                src_type_counts=dict(sorted(src_types[label].items())),
+                dst_type_counts=dict(sorted(dst_types[label].items())),
+                src_distinct_by_type={
+                    t: len(s) for t, s in sorted(src_seen[label].items())
+                },
+                dst_distinct_by_type={
+                    t: len(s) for t, s in sorted(dst_seen[label].items())
+                },
+                sketches={
+                    key: PropertySketch.from_counter(counter, label_counts[label])
+                    for key, counter in sorted(edge_counters[label].items())
+                },
+            )
+        return cls(
+            total_vertices=len(scope),
+            type_counts=dict(sorted(type_counts.items())),
+            vertex_sketches=vertex_sketches,
+            labels=labels,
+        )
+
+    @classmethod
+    def merged(cls, summaries: Iterable["GraphSummary"]) -> "GraphSummary":
+        """Combine per-server summaries into a cluster-wide one (the
+        coordinator's planning input)."""
+        out = cls()
+        for summary in summaries:
+            out = out._merge_one(summary)
+        return out
+
+    def _merge_one(self, other: "GraphSummary") -> "GraphSummary":
+        type_counts = dict(self.type_counts)
+        for t, c in other.type_counts.items():
+            type_counts[t] = type_counts.get(t, 0) + c
+        sketches: dict[str, dict[str, PropertySketch]] = {}
+        for vtype in sorted(type_counts):
+            mine = self.vertex_sketches.get(vtype, {})
+            theirs = other.vertex_sketches.get(vtype, {})
+            merged: dict[str, PropertySketch] = {}
+            for key in sorted(set(mine) | set(theirs)):
+                a = mine.get(
+                    key, PropertySketch(population=self.type_counts.get(vtype, 0))
+                )
+                b = theirs.get(
+                    key, PropertySketch(population=other.type_counts.get(vtype, 0))
+                )
+                merged[key] = a.merge(b)
+            sketches[vtype] = merged
+        labels: dict[str, LabelStats] = {}
+        for label in sorted(set(self.labels) | set(other.labels)):
+            a = self.labels.get(label, LabelStats(label=label))
+            b = other.labels.get(label, LabelStats(label=label))
+            labels[label] = a.merge(b)
+        return GraphSummary(
+            total_vertices=self.total_vertices + other.total_vertices,
+            type_counts=dict(sorted(type_counts.items())),
+            vertex_sketches=sketches,
+            labels=labels,
+        )
+
+    # -- planner-facing estimators ----------------------------------------
+
+    def label_stats(self, label: str) -> LabelStats:
+        """Stats for ``label``; a ``~``-prefixed label yields the transposed
+        view of its base label (reverse edges share the base statistics)."""
+        if label.startswith("~"):
+            base = self.labels.get(label[1:])
+            return base.reversed_view() if base is not None else LabelStats(label)
+        return self.labels.get(label, LabelStats(label))
+
+    def vertex_selectivity(self, vtype: str, filters: FilterSet) -> float:
+        """Estimated fraction of type-``vtype`` vertices matching ``filters``."""
+        sel = 1.0
+        sketches = self.vertex_sketches.get(vtype, {})
+        for flt in filters.filters:
+            if flt.key == "type":
+                sel *= 1.0 if flt.matches({"type": vtype}) else 0.0
+                continue
+            sketch = sketches.get(flt.key)
+            sel *= sketch.selectivity(flt) if sketch is not None else 0.0
+        return sel
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "total_vertices": self.total_vertices,
+            "type_counts": dict(sorted(self.type_counts.items())),
+            "vertex_sketches": {
+                vtype: {k: sk.payload() for k, sk in sorted(sketches.items())}
+                for vtype, sketches in sorted(self.vertex_sketches.items())
+            },
+            "labels": {
+                label: stats.payload() for label, stats in sorted(self.labels.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical for identical summaries."""
+        return json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))

@@ -2,6 +2,13 @@
 
 from repro.lang.filters import EQ, IN, RANGE, FilterOp, FilterSet, PropertyFilter
 from repro.lang.gtravel import GTravel, union_results
+from repro.lang.optimizer import (
+    CostParams,
+    PlanCost,
+    PlannedQuery,
+    QueryPlanner,
+    Rewrite,
+)
 from repro.lang.plan import Step, TraversalPlan
 
 __all__ = [
@@ -15,4 +22,9 @@ __all__ = [
     "union_results",
     "Step",
     "TraversalPlan",
+    "CostParams",
+    "PlanCost",
+    "PlannedQuery",
+    "QueryPlanner",
+    "Rewrite",
 ]

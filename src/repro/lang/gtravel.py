@@ -88,6 +88,12 @@ class GTravel:
         for label in labels:
             if not isinstance(label, str) or not label:
                 raise QueryError(f"edge label must be a non-empty str, got {label!r}")
+            if label.startswith("~"):
+                # "~" prefixes the planner's internal reverse-edge labels
+                raise QueryError(
+                    f"edge label {label!r} is reserved: '~'-prefixed labels "
+                    "denote reverse edges and are planner-internal"
+                )
         self._steps.append(
             {
                 "labels": tuple(dict.fromkeys(labels)),
@@ -146,10 +152,17 @@ class GTravel:
     def describe(self) -> str:
         return self.compile().describe()
 
-    def explain(self) -> dict:
+    def explain(self, planner: Optional[Any] = None) -> dict:
         """Compile and explain: the step plan with selectors, filters, and
-        rtn marks as a structured dict (no traversal runs)."""
-        return self.compile().explain()
+        rtn marks as a structured dict (no traversal runs). An empty chain
+        (no ``v()`` yet) explains to a well-formed empty plan document
+        rather than raising. With a ``planner``, the document shows
+        original vs. optimized plans with cost estimates."""
+        if not self._source_set:
+            from repro.obs.explain import empty_plan_document
+
+            return empty_plan_document()
+        return self.compile().explain(planner=planner)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         try:

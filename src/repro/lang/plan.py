@@ -63,6 +63,13 @@ class TraversalPlan:
     source_filters: FilterSet
     steps: tuple[Step, ...]
     rtn_levels: frozenset[int]
+    #: planner annotation — engines may push edge filters into the storage
+    #: scan (results are unchanged: the engine re-applies every filter)
+    pushdown: bool = False
+    #: planner annotation — the final step's destinations go straight to the
+    #: result set without being dispatched as executions (valid only when the
+    #: final step has no vertex filters and no intermediate rtn marks)
+    short_circuit_final: bool = False
 
     def __post_init__(self) -> None:
         for level in self.rtn_levels:
@@ -89,17 +96,29 @@ class TraversalPlan:
         return frozenset({self.final_level})
 
     @property
+    def effective_final_level(self) -> int:
+        """The last level that actually dispatches executions: one short of
+        ``final_level`` when the final step is short-circuited."""
+        if self.short_circuit_final and self.num_steps >= 1:
+            return self.final_level - 1
+        return self.final_level
+
+    @property
     def has_intermediate_returns(self) -> bool:
         """True if some returned level is not the final one (needs the
         report-destination redirection machinery of paper §IV-D)."""
         return any(level < self.final_level for level in self.return_levels)
 
-    def explain(self) -> dict:
+    def explain(self, planner: Optional["object"] = None) -> dict:
         """The compiled step plan as a structured dict (Gremlin-style
         ``explain()``): source selector, per-step labels and filters, rtn
-        marks. See :func:`repro.obs.explain.explain_plan`."""
-        from repro.obs.explain import explain_plan
+        marks. With a :class:`~repro.lang.optimizer.QueryPlanner`, returns
+        the original-vs-optimized document with cost estimates instead.
+        See :mod:`repro.obs.explain`."""
+        from repro.obs.explain import explain_plan, explain_planned
 
+        if planner is not None:
+            return explain_planned(planner.plan(self))
         return explain_plan(self)
 
     def describe(self) -> str:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.lang.filters import FilterSet
+from repro.lang.optimizer import PlannedQuery
 from repro.lang.plan import TraversalPlan
 from repro.obs.spans import SpanTracer
 from repro.obs.trace import TraversalDag
@@ -74,6 +75,48 @@ def explain_plan(plan: TraversalPlan) -> dict[str, Any]:
         "rtn_levels": sorted(plan.rtn_levels),
         "return_levels": sorted(plan.return_levels),
         "has_intermediate_returns": plan.has_intermediate_returns,
+        "annotations": {
+            "pushdown": plan.pushdown,
+            "short_circuit_final": plan.short_circuit_final,
+        },
+    }
+
+
+def empty_plan_document() -> dict[str, Any]:
+    """A well-formed EXPLAIN document for a chain with no ``v()`` yet: the
+    same shape as :func:`explain_plan`, with an empty source and no steps."""
+    return {
+        "query": "GTravel",
+        "source": {"ids": [], "filters": [], "rtn": False},
+        "steps": [],
+        "final_level": 0,
+        "rtn_levels": [],
+        "return_levels": [0],
+        "has_intermediate_returns": False,
+        "annotations": {"pushdown": False, "short_circuit_final": False},
+    }
+
+
+def explain_planned(planned: PlannedQuery) -> dict[str, Any]:
+    """EXPLAIN with the planner in the loop: the plan as compiled, the plan
+    as it will execute, the rewrites connecting them, and (in ``cost`` mode)
+    the per-level cardinality/cost estimates for both."""
+    return {
+        "planner": planned.mode,
+        "original": explain_plan(planned.original),
+        "optimized": explain_plan(planned.executed),
+        "rewrites": [r.payload() for r in planned.rewrites],
+        "cost_original": (
+            planned.cost_original.payload()
+            if planned.cost_original is not None
+            else None
+        ),
+        "cost_optimized": (
+            planned.cost_executed.payload()
+            if planned.cost_executed is not None
+            else None
+        ),
+        "level_map": {str(k): v for k, v in sorted(planned.level_map.items())},
     }
 
 
@@ -133,6 +176,12 @@ class ProfileReport:
     warnings: list[str]
     trace: dict[str, Any]
     result_count: Optional[int] = None
+    #: planner audit trail (mode, rewrites, executed query) — empty dict
+    #: when the run executed the plan as written
+    planner: dict[str, Any] = field(default_factory=dict)
+    #: estimated-vs-actual cardinality rows, one per executed level — empty
+    #: when no cost estimate was attached to the run
+    estimates: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def skew(self) -> float:
@@ -155,6 +204,8 @@ class ProfileReport:
             "warnings": list(self.warnings),
             "steps": [s.as_dict() for s in self.steps],
             "trace": self.trace,
+            "planner": self.planner,
+            "estimates": self.estimates,
         }
 
     def to_json(self) -> str:
@@ -203,8 +254,17 @@ def profile_traversal(
     spans: Optional[SpanTracer] = None,
     elapsed: Optional[float] = None,
     result_count: Optional[int] = None,
+    planned: Optional[PlannedQuery] = None,
 ) -> ProfileReport:
-    """Aggregate one traversal's execution DAG into a per-step profile."""
+    """Aggregate one traversal's execution DAG into a per-step profile.
+
+    With ``planned``, the per-level rows follow the *executed* plan (which
+    may be reversed or short-circuited), the report carries the planner's
+    audit trail, and — when a cost estimate is attached — estimated-vs-actual
+    cardinality rows so estimator error is directly observable.
+    """
+    if planned is not None:
+        plan = planned.executed
     durations = (
         _level_durations(spans, dag.travel_id) if spans is not None else {}
     )
@@ -251,11 +311,36 @@ def profile_traversal(
         for server, n in sp.per_server.items():
             per_server[server] = per_server.get(server, 0) + n
 
+    planner_doc: dict[str, Any] = {}
+    estimates: list[dict[str, Any]] = []
+    if planned is not None and planned.mode != "off":
+        planner_doc = {
+            "mode": planned.mode,
+            "rewrites": [r.payload() for r in planned.rewrites],
+            "executed_query": planned.executed.describe(),
+            "level_map": {str(k): v for k, v in sorted(planned.level_map.items())},
+        }
+        if planned.cost_executed is not None:
+            for est in planned.cost_executed.levels:
+                actual = by_level.get(est.level)
+                actual_rows = (
+                    actual.stats.get("vertices", 0) if actual is not None else 0
+                )
+                estimates.append(
+                    {
+                        "level": est.level,
+                        "original_level": planned.map_level(est.level),
+                        "estimated_rows": round(est.rows_in, 3),
+                        "actual_rows": actual_rows,
+                        "estimated_cost": round(est.cost, 6),
+                    }
+                )
+
     return ProfileReport(
         travel_id=dag.travel_id,
         status=dag.status,
-        query=plan.describe(),
-        plan=explain_plan(plan),
+        query=(planned.original if planned is not None else plan).describe(),
+        plan=explain_plan(planned.original if planned is not None else plan),
         elapsed=elapsed,
         attempts=dag.attempts,
         steps=[by_level[level] for level in sorted(by_level)],
@@ -263,4 +348,6 @@ def profile_traversal(
         warnings=list(dag.warnings),
         trace=dag.to_payload(),
         result_count=result_count,
+        planner=planner_doc,
+        estimates=estimates,
     )

@@ -54,11 +54,25 @@ class GraphStore:
 
     # -- loading ---------------------------------------------------------
 
-    def load_partition(self, graph: PropertyGraph, vids: Iterable[VertexId]) -> int:
+    def load_partition(
+        self,
+        graph: PropertyGraph,
+        vids: Iterable[VertexId],
+        reverse_index: Optional[dict[VertexId, list]] = None,
+    ) -> int:
         """Bulk-load the given vertices (attributes + out-edges) from ``graph``.
 
         Returns the number of vertices loaded. Uses SSTable ingestion, so the
         data starts compact and cold, as in the paper's cold-start runs.
+
+        ``reverse_index`` (vertex id → ``[(label, src, eprops), ...]`` of the
+        edges *pointing at* it) additionally materializes reverse adjacency
+        as ``~label`` edge records, so the cost-based planner can evaluate a
+        chain backwards. Reverse edges share the forward edge's properties.
+        They live in a disjoint ``~<ns>`` namespace (always label-grouped,
+        whatever ``edge_layout`` is): the forward key region packs into
+        exactly the same blocks whether or not the index is built, so plans
+        that never go backwards pay nothing for it.
         """
         items: list[tuple[bytes, bytes]] = []
         count = 0
@@ -72,16 +86,29 @@ class GraphStore:
             items.append((enc.attr_key(ns, vid, "__type"), enc.pack_value(ns)))
             for prop, packed in enc.iter_props_pairs(vertex.props):
                 items.append((enc.attr_key(ns, vid, prop), packed))
+            edges = list(graph.out_edges(vid))
+            if reverse_index is not None:
+                per_rlabel: dict[str, int] = {}
+                for label, src, eprops in reverse_index.get(vid, ()):
+                    rlabel = "~" + label
+                    seq = per_rlabel.get(rlabel, 0)
+                    per_rlabel[rlabel] = seq + 1
+                    items.append(
+                        (
+                            enc.edge_key("~" + ns, vid, rlabel, seq),
+                            enc.pack_edge_record(src, eprops),
+                        )
+                    )
             if self.edge_layout == "grouped":
                 per_label: dict[str, int] = {}
-                for label, dst, eprops in graph.out_edges(vid):
+                for label, dst, eprops in edges:
                     seq = per_label.get(label, 0)
                     per_label[label] = seq + 1
                     items.append(
                         (enc.edge_key(ns, vid, label, seq), enc.pack_edge_record(dst, eprops))
                     )
             else:
-                for seq, (label, dst, eprops) in enumerate(graph.out_edges(vid)):
+                for seq, (label, dst, eprops) in enumerate(edges):
                     tagged = {**eprops, _LABEL_PROP: label}
                     items.append(
                         (
@@ -134,7 +161,8 @@ class GraphStore:
         """Remove a vertex, its attributes, and its out-edges."""
         ns = self._require_ns(vid)
         pairs, _ = self.kv.scan_prefix(enc.vertex_prefix(ns, vid))
-        for key, _ in pairs:
+        rpairs, _ = self.kv.scan_prefix(enc.vertex_prefix("~" + ns, vid))
+        for key, _ in list(pairs) + list(rpairs):
             self.kv.delete(key)
         del self._ns_of[vid]
         self._by_type[ns].remove(vid)
@@ -174,37 +202,73 @@ class GraphStore:
         return props, cost
 
     def edges(
-        self, vid: VertexId, label: str
+        self, vid: VertexId, label: str, pred=None
     ) -> tuple[list[tuple[VertexId, dict[str, Any]]], IOCost]:
         """Out-edges of ``vid`` with ``label``.
 
         Grouped layout: one sequential scan of exactly that label's run.
         Interleaved layout: the whole edge block must be scanned and
         filtered — the extra I/O the paper's grouping avoids.
+
+        ``pred`` (edge-props dict → bool) is evaluated *inside* the storage
+        scan: rejected edges never surface to the engine (the planner's
+        predicate pushdown). The scan cost is unchanged — the same blocks
+        are read — but the surfaced record count shrinks.
+
+        A ``~label`` reads the materialized reverse-adjacency region, which
+        is always label-grouped regardless of ``edge_layout``.
         """
         ns = self._require_ns(vid)
-        if self.edge_layout == "grouped":
-            pairs, cost = self.kv.scan_prefix(enc.edges_prefix(ns, vid, label))
+        if label.startswith("~"):
+            ns = "~" + ns
+        if self.edge_layout == "grouped" or label.startswith("~"):
+            prefix = enc.edges_prefix(ns, vid, label)
+            if pred is None:
+                pairs, cost = self.kv.scan_prefix(prefix)
+            else:
+                def accept(key: bytes, value: bytes) -> bool:
+                    _, props = enc.unpack_edge_record(value)
+                    return pred(props)
+
+                pairs, cost = self.kv.scan_filtered(
+                    prefix, enc.prefix_end(prefix), accept
+                )
             out = [enc.unpack_edge_record(value) for _, value in pairs]
             return out, cost
-        all_edges, cost = self.all_edges(vid)
+        preds = {label: pred} if pred is not None else None
+        all_edges, cost = self.all_edges(vid, preds)
         return [(dst, props) for lbl, dst, props in all_edges if lbl == label], cost
 
     def all_edges(
-        self, vid: VertexId
+        self, vid: VertexId, preds: Optional[dict[str, Any]] = None
     ) -> tuple[list[tuple[str, VertexId, dict[str, Any]]], IOCost]:
-        """Every out-edge of ``vid`` across labels (label, dst, props)."""
+        """Every out-edge of ``vid`` across labels (label, dst, props).
+
+        ``preds`` maps label → (edge-props dict → bool); edges whose label
+        has a predicate that rejects them are dropped inside the scan.
+        Labels without a predicate always pass.
+        """
         ns = self._require_ns(vid)
-        pairs, cost = self.kv.scan_prefix(enc.all_edges_prefix(ns, vid))
-        out = []
-        for key, value in pairs:
+        prefix = enc.all_edges_prefix(ns, vid)
+
+        def decode(key: bytes, value: bytes):
             dst, props = enc.unpack_edge_record(value)
             if self.edge_layout == "grouped":
                 _, _, label, _ = enc.parse_edge_key(key)
             else:
                 label = props.pop(_LABEL_PROP)
-            out.append((label, dst, props))
-        return out, cost
+            return label, dst, props
+
+        if preds:
+            def accept(key: bytes, value: bytes) -> bool:
+                label, _, props = decode(key, value)
+                pred = preds.get(label)
+                return pred is None or pred(props)
+
+            pairs, cost = self.kv.scan_filtered(prefix, enc.prefix_end(prefix), accept)
+        else:
+            pairs, cost = self.kv.scan_prefix(prefix)
+        return [decode(key, value) for key, value in pairs], cost
 
     # -- index queries (served from the in-memory location index) ----------
 

@@ -36,6 +36,8 @@ class LSMStats:
     compactions: int = 0
     bloom_false_positives: int = 0
     entries_scanned: int = 0
+    #: entries dropped by a predicate-aware scan before surfacing (pushdown)
+    entries_filtered: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -181,6 +183,23 @@ class LSMStore:
 
     def scan_prefix(self, prefix: bytes) -> tuple[list[tuple[bytes, bytes]], IOCost]:
         return self.scan(prefix, prefix_end(prefix))
+
+    def scan_filtered(
+        self, start: bytes, end: bytes, accept
+    ) -> tuple[list[tuple[bytes, bytes]], IOCost]:
+        """Predicate-aware range scan: like :meth:`scan`, but entries failing
+        ``accept(key, value)`` never surface to the caller.
+
+        The I/O cost is identical to the unfiltered scan — the same blocks
+        are read — so pushing a predicate down buys fewer *surfaced records*
+        (tracked by ``entries_filtered``), not fewer bytes. That mirrors the
+        real-storage contract: filtering happens inside the scan operator,
+        below the engine.
+        """
+        pairs, cost = self.scan(start, end)
+        kept = [(k, v) for k, v in pairs if accept(k, v)]
+        self.stats.entries_filtered += len(pairs) - len(kept)
+        return kept, cost
 
     # -- introspection ------------------------------------------------------
 

@@ -12,6 +12,7 @@ from repro.workloads.metadata_graph import (
 )
 from repro.workloads.properties import blob_props, sized_props
 from repro.workloads.queries import (
+    audit_scan_query,
     data_audit_query,
     provenance_query,
     rmat_kstep_query,
@@ -35,6 +36,7 @@ __all__ = [
     "paper_scaled_config",
     "blob_props",
     "sized_props",
+    "audit_scan_query",
     "data_audit_query",
     "provenance_query",
     "rmat_kstep_query",

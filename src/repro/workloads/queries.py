@@ -67,6 +67,31 @@ def suspicious_user_query(user: int, t_start: float = 0.0, t_end: float = YEAR) 
     )
 
 
+def audit_scan_query(
+    t_start: float = 0.0,
+    t_end: float = 0.25 * YEAR,
+    kind: str = "text",
+    annotation: str = "B",
+) -> GTravel:
+    """The audit query phrased as a *scan*: no seed user, just "which files
+    of this kind/annotation were read by any execution in the timeframe".
+
+    Written forwards it enumerates every Execution and fans out over
+    ``read`` edges; the selective end (two file filters) is the far end, so
+    this is the planner's motivating case — the cost-based mode evaluates
+    it backwards from the much smaller file set.
+    """
+    return (
+        GTravel.v()
+        .va("type", EQ, "Execution")
+        .va("ts", RANGE, (t_start, t_end))
+        .e("read")
+        .va("kind", EQ, kind)
+        .va("annotation", EQ, annotation)
+        .rtn()
+    )
+
+
 def rmat_kstep_query(source: int, steps: int, label: str = "link") -> GTravel:
     """The synthetic-workload k-step traversal (§VII-B): follow ``label``
     edges for ``steps`` hops from one randomly selected vertex."""

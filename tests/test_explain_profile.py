@@ -9,10 +9,12 @@ the simulated runtime the whole report is byte-identical per
 
 import json
 
+from repro.cluster import Cluster, ClusterConfig
 from repro.cluster.client import GraphTrekClient
-from repro.engine import EngineKind
+from repro.engine import EngineKind, graphtrek_options
 from repro.lang import GTravel
 from repro.lang.filters import EQ
+from repro.obs.explain import empty_plan_document
 from repro.obs.trace import validate_trace
 
 from tests.conftest import ALL_ENGINES, build_cluster
@@ -104,6 +106,92 @@ def test_profile_is_byte_identical_per_seed_and_config(metadata_graph):
         payloads.append(chrome)
     assert payloads[0] == payloads[2]  # profile JSON
     assert payloads[1] == payloads[3]  # Chrome trace JSON
+
+
+def scan_query():
+    """A scan-shaped chain the cost planner can rewrite."""
+    return (
+        GTravel.v()
+        .va("type", EQ, "Execution")
+        .e("read")
+        .va("kind", EQ, "text")
+        .rtn()
+    )
+
+
+def planner_cluster(graph, mode="cost", **cfg):
+    return Cluster.build(
+        graph,
+        ClusterConfig(nservers=3, engine=graphtrek_options(planner=mode), **cfg),
+    )
+
+
+def test_explain_with_planner_shows_both_plans_and_costs(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = planner_cluster(graph, "cost")
+    doc = cluster.explain(scan_query())
+    assert doc["planner"] == "cost"
+    # both plan documents are complete EXPLAIN structures
+    for side in ("original", "optimized"):
+        assert doc[side]["steps"], side
+        assert "annotations" in doc[side], side
+    # cost mode always carries numeric per-level estimates for both plans
+    for side in ("cost_original", "cost_optimized"):
+        assert doc[side] is not None, side
+        assert doc[side]["total"] > 0.0, side
+        assert len(doc[side]["levels"]) >= 1, side
+        for row in doc[side]["levels"]:
+            assert set(row) == {"level", "rows_in", "rows_out", "cost"}
+    assert isinstance(doc["rewrites"], list)
+    json.dumps(doc, sort_keys=True)
+    # rules mode explains without cost estimates
+    rules_doc = planner_cluster(graph, "rules").explain(scan_query())
+    assert rules_doc["planner"] == "rules"
+    assert rules_doc["cost_original"] is None
+    # and the planner-free cluster keeps the plain single-plan document
+    plain_doc = build_cluster(graph, EngineKind.GRAPHTREK).explain(scan_query())
+    assert "planner" not in plain_doc
+    assert plain_doc["steps"]
+
+
+def test_profile_with_planner_reports_estimated_vs_actual(metadata_graph):
+    graph, _ = metadata_graph
+    cluster = planner_cluster(graph, "cost")
+    _, report = cluster.profile(scan_query())
+    assert report.status == "ok"
+    assert report.planner["mode"] == "cost"
+    assert report.estimates, "cost mode must attach estimate rows"
+    actual_by_level = {s.level: s.stats.get("vertices", 0) for s in report.steps}
+    for row in report.estimates:
+        assert set(row) >= {
+            "level", "original_level", "estimated_rows", "actual_rows",
+            "estimated_cost",
+        }
+        assert row["actual_rows"] == actual_by_level.get(row["level"], 0)
+    # the report's query/plan keep the ORIGINAL chain the user wrote
+    assert report.plan["steps"][0]["labels"] == ["read"]
+    json.dumps(report.payload(), sort_keys=True)
+
+
+def test_profile_with_planner_is_byte_identical_per_seed_and_config(metadata_graph):
+    graph, _ = metadata_graph
+    payloads = []
+    for _ in range(2):
+        cluster = planner_cluster(graph, "cost")
+        _, report = cluster.profile(scan_query())
+        payloads.append(report.to_json())
+        payloads.append(json.dumps(cluster.trace_payload(), sort_keys=True))
+    assert payloads[0] == payloads[2]  # profile JSON
+    assert payloads[1] == payloads[3]  # Chrome trace JSON
+
+
+def test_empty_chain_explain_is_well_formed():
+    """Regression: ``GTravel().explain()`` used to blow up before ``v()``."""
+    doc = GTravel().explain()
+    assert doc == empty_plan_document()
+    assert doc["final_level"] == 0
+    assert doc["steps"] == []
+    json.dumps(doc, sort_keys=True)
 
 
 def test_chrome_trace_round_trips_the_validator(metadata_graph):

@@ -1,0 +1,145 @@
+"""Per-server statistics and the selectivity estimator.
+
+On hand-built graphs where the exact answer is countable, the estimator
+must be exact for tracked values, deterministic byte-for-byte per seed,
+robust on empty labels/properties (never a ZeroDivisionError), and
+partition-mergeable: folding per-server summaries must agree with the
+global summary wherever merging loses no information.
+"""
+
+import random
+
+from repro.graph import GraphSummary, PropertyGraph
+from repro.graph.stats import SKETCH_TRACK_CAP, LabelStats, PropertySketch
+from repro.lang import EQ, IN, RANGE
+from repro.lang.filters import FilterSet, PropertyFilter
+
+
+def small_graph() -> PropertyGraph:
+    g = PropertyGraph()
+    for vid in range(8):
+        g.add_vertex(vid, "U", {"color": vid % 2})          # 4 of each color
+    for vid in range(8, 24):
+        g.add_vertex(vid, "F", {"kind": "text" if vid % 4 == 0 else "bin"})
+    for src in range(8):
+        for k in range(2):
+            g.add_edge(src, 8 + (src * 2 + k) % 16, "r", {"w": src % 4})
+    return g
+
+
+def _fs(*filters) -> FilterSet:
+    return FilterSet.of(list(filters))
+
+
+def test_vertex_selectivity_exact_on_tracked_values():
+    summary = GraphSummary.from_graph(small_graph())
+    # exact: 4 of 8 U vertices have color 0
+    assert summary.vertex_selectivity("U", _fs(PropertyFilter("color", EQ, 0))) == 0.5
+    # exact: 4 of 16 F vertices are text (vids 8, 12, 16, 20)
+    sel = summary.vertex_selectivity("F", _fs(PropertyFilter("kind", EQ, "text")))
+    assert sel == 4 / 16
+    # IN unions tracked values; RANGE covers the whole span
+    assert summary.vertex_selectivity("U", _fs(PropertyFilter("color", IN, (0, 1)))) == 1.0
+    assert summary.vertex_selectivity("U", _fs(PropertyFilter("color", RANGE, (0, 1)))) == 1.0
+    # conjunction multiplies (independence assumption), so it can only shrink
+    both = summary.vertex_selectivity(
+        "U", _fs(PropertyFilter("color", EQ, 0), PropertyFilter("color", RANGE, (0, 0)))
+    )
+    assert 0.0 < both <= 0.5
+
+
+def test_edge_selectivity_exact_on_tracked_values():
+    summary = GraphSummary.from_graph(small_graph())
+    stats = summary.label_stats("r")
+    assert stats.count == 16
+    # w cycles 0..3 over src, 2 edges per src: 4 of 16 edges have w == 0
+    assert stats.edge_selectivity(_fs(PropertyFilter("w", EQ, 0))) == 4 / 16
+    assert stats.edge_selectivity(_fs(PropertyFilter("w", RANGE, (0, 1)))) == 0.5
+
+
+def test_empty_labels_and_properties_are_zero_not_errors():
+    summary = GraphSummary.from_graph(small_graph())
+    assert summary.vertex_selectivity("NoSuchType", _fs(PropertyFilter("x", EQ, 1))) == 0.0
+    assert summary.vertex_selectivity("U", _fs(PropertyFilter("nope", EQ, 1))) == 0.0
+    assert summary.label_stats("ghost").count == 0
+    assert summary.label_stats("ghost").edge_selectivity(
+        _fs(PropertyFilter("w", EQ, 0))
+    ) == 0.0
+    empty = GraphSummary.from_graph(PropertyGraph())
+    assert empty.total_vertices == 0
+    assert empty.vertex_selectivity("U", _fs(PropertyFilter("c", EQ, 1))) == 0.0
+    # an empty filter set is pass-all by definition, even on an empty summary
+    assert empty.vertex_selectivity("U", FilterSet()) == 1.0
+    # sketches over zero observations
+    sk = PropertySketch.from_counter({}, 0)
+    for fs_filter in (
+        PropertyFilter("k", EQ, 1),
+        PropertyFilter("k", IN, (1, 2)),
+        PropertyFilter("k", RANGE, (0, 9)),
+    ):
+        assert sk.selectivity(fs_filter) == 0.0
+
+
+def test_summary_is_byte_deterministic_per_seed():
+    def build(seed: int) -> PropertyGraph:
+        rng = random.Random(seed)
+        g = PropertyGraph()
+        for vid in range(40):
+            g.add_vertex(vid, rng.choice(("U", "F")), {"c": rng.randrange(6)})
+        for _ in range(120):
+            g.add_edge(
+                rng.randrange(40), rng.randrange(40), rng.choice(("a", "b")),
+                {"w": rng.random()},
+            )
+        return g
+
+    for seed in (0, 1, 9):
+        one = GraphSummary.from_graph(build(seed)).to_json()
+        two = GraphSummary.from_graph(build(seed)).to_json()
+        assert one == two, f"seed {seed}"
+    assert GraphSummary.from_graph(build(0)).to_json() != (
+        GraphSummary.from_graph(build(1)).to_json()
+    )
+
+
+def test_merged_partitions_match_global_summary():
+    g = small_graph()
+    vids = sorted(g.vertex_ids())
+    parts = [vids[0::3], vids[1::3], vids[2::3]]
+    merged = GraphSummary.merged(
+        [GraphSummary.from_graph(g, part) for part in parts]
+    )
+    whole = GraphSummary.from_graph(g)
+    assert merged.type_counts == whole.type_counts
+    assert merged.total_vertices == whole.total_vertices
+    for label in ("r",):
+        assert merged.label_stats(label).count == whole.label_stats(label).count
+    fs = _fs(PropertyFilter("kind", EQ, "text"))
+    assert merged.vertex_selectivity("F", fs) == whole.vertex_selectivity("F", fs)
+    assert GraphSummary.merged([]).total_vertices == 0
+
+
+def test_sketch_tail_beyond_track_cap():
+    n = SKETCH_TRACK_CAP + 36
+    sk = PropertySketch.from_counter({i: 1 for i in range(n)}, n)
+    assert sk.population == n
+    # an untracked value falls into the lumped tail: a small non-zero guess
+    tail = sk.eq_selectivity(n - 1)
+    assert 0.0 < tail < 1.0
+    # the numeric span lets RANGE see the tail too
+    assert sk.range_selectivity(0, n) == 1.0
+    assert sk.range_selectivity(n + 1, n + 2) == 0.0
+    # unhashable probes degrade gracefully instead of raising
+    assert sk.eq_selectivity([1, 2]) >= 0.0
+
+
+def test_reversed_view_transposes_endpoints():
+    summary = GraphSummary.from_graph(small_graph())
+    fwd = summary.label_stats("r")
+    rev = summary.label_stats("~r")
+    assert isinstance(rev, LabelStats)
+    assert rev.count == fwd.count
+    assert rev.src_type_counts == fwd.dst_type_counts
+    assert rev.dst_type_counts == fwd.src_type_counts
+    fs = _fs(PropertyFilter("w", EQ, 0))
+    assert rev.edge_selectivity(fs) == fwd.edge_selectivity(fs)
