@@ -786,3 +786,133 @@ def exp_chaos(
         ],
     }
     return ExperimentResult("chaos", [], rendered, checks, extra=extra)
+
+
+def exp_scheduler(
+    env: Optional[BenchEnvironment] = None,
+    *,
+    nscans: int = 3,
+    nsmall: int = 8,
+    nservers: int = 4,
+    max_inflight: int = 2,
+) -> ExperimentResult:
+    """Scheduler-policy ablation: the QoS mixed workload (``nscans`` 8-step
+    batch scans submitted ahead of ``nsmall`` 2-step interactive queries)
+    under every admission policy, same graph, same cluster shape, same
+    ``max_inflight`` cap.
+
+    The metric is interactive-tenant latency *including queue wait* (the
+    scheduler stamps submission time at admission, so ``stats.elapsed``
+    covers the time spent queued). FIFO launches in arrival order, so every
+    small query waits behind the whole batch; weighted-fair queueing
+    (interactive weighted 4:1 over batch) lets the cheap interactive work
+    overtake queued scans — the claim checked here is a lower interactive
+    p99. Result sets must be identical across policies: scheduling reorders
+    work, never answers.
+    """
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.engine.options import graphtrek_options
+    from repro.sched import POLICY_NAMES, SchedulerConfig
+    from repro.workloads import qos_mixed_workload
+
+    env = env or BenchEnvironment.from_env()
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    items = qos_mixed_workload(
+        env.seed, 1 << env.scale, nscans=nscans, nsmall=nsmall
+    )
+    queries = [item["query"] for item in items]
+    qos = [item["qos"] for item in items]
+    sched_config = SchedulerConfig(
+        max_inflight=max_inflight,
+        tenant_weights={"interactive": 4.0, "batch": 1.0},
+    )
+
+    cells = []
+    rows: dict[str, str] = {}
+    per_policy: dict[str, dict] = {}
+    result_sets: dict[str, list] = {}
+    launched: dict[str, int] = {}
+    for policy in POLICY_NAMES:
+        opts = graphtrek_options(scheduler=policy)
+        config = ClusterConfig(
+            nservers=nservers, engine=opts, scheduler_config=sched_config
+        )
+        if harness.tracing_enabled():
+            config.trace_enabled = True
+        cluster = Cluster.build(graph, config)
+        outcomes = cluster.traverse_many(queries, cold=True, qos=qos)
+        smalls = [
+            o.stats.elapsed
+            for o, item in zip(outcomes, items)
+            if item["kind"] == "small"
+        ]
+        scans = [
+            o.stats.elapsed
+            for o, item in zip(outcomes, items)
+            if item["kind"] == "scan"
+        ]
+        result_sets[policy] = [sorted(o.result.vertices) for o in outcomes]
+        snapshot = cluster.metrics_snapshot()
+        launched[policy] = sum(
+            v
+            for k, v in snapshot.get("counters", {}).items()
+            if k.startswith("sched.launched")
+        )
+        per_policy[policy] = {
+            "small_p50": float(np.percentile(smalls, 50)),
+            "small_p99": float(np.percentile(smalls, 99)),
+            "small_mean": float(np.mean(smalls)),
+            "scan_max": max(scans),
+            "makespan": max(o.stats.elapsed for o in outcomes),
+        }
+        rows[f"{policy} interactive p99"] = report.fmt_time(
+            per_policy[policy]["small_p99"]
+        )
+        rows[f"{policy} interactive p50"] = report.fmt_time(
+            per_policy[policy]["small_p50"]
+        )
+        rows[f"{policy} batch max"] = report.fmt_time(per_policy[policy]["scan_max"])
+        rows[f"{policy} makespan"] = report.fmt_time(per_policy[policy]["makespan"])
+        cell = harness.Cell.from_outcome(opts, nservers, outcomes[0])
+        cell.elapsed = per_policy[policy]["makespan"]
+        cell.metrics = snapshot
+        if harness.tracing_enabled():
+            cell.trace = cluster.trace_payload(label=f"sched-{policy}")
+        # Cell is keyed (engine, nservers); disambiguate the three
+        # same-engine cells by policy name.
+        cell.engine = f"{cell.engine}:{policy}"
+        cells.append(cell)
+
+    wfq, fifo = per_policy["wfq"], per_policy["fifo"]
+    checks = [
+        ShapeCheck(
+            "wfq_beats_fifo_on_interactive_p99",
+            wfq["small_p99"] < fifo["small_p99"],
+            f"interactive p99 incl. queue wait: wfq "
+            f"{report.fmt_time(wfq['small_p99'])} vs fifo "
+            f"{report.fmt_time(fifo['small_p99'])} (weighted-fair lets cheap "
+            "interactive work overtake queued batch scans)",
+        ),
+        ShapeCheck(
+            "policies_agree_on_results",
+            all(result_sets[p] == result_sets["fifo"] for p in POLICY_NAMES),
+            "every policy returned identical vertex sets for all "
+            f"{len(queries)} queries" if all(
+                result_sets[p] == result_sets["fifo"] for p in POLICY_NAMES
+            ) else "policies returned DIFFERENT result sets",
+        ),
+        ShapeCheck(
+            "all_submissions_launched",
+            all(n == len(queries) for n in launched.values()),
+            f"sched.launched == {len(queries)} for every policy "
+            f"(got {launched})",
+        ),
+    ]
+    rendered = report.kv_table(
+        f"Scheduler ablation — {nscans} batch scans + {nsmall} interactive "
+        f"queries, {nservers} servers, max_inflight={max_inflight}",
+        rows,
+    )
+    return ExperimentResult(
+        "scheduler", cells, rendered, checks, extra={"per_policy": per_policy}
+    )

@@ -33,12 +33,25 @@ class GraphTrekClient:
     history: list[SubmissionRecord] = field(default_factory=list)
 
     def query(
-        self, query: Union[GTravel, TraversalPlan], *, cold: bool = False
+        self,
+        query: Union[GTravel, TraversalPlan],
+        *,
+        cold: bool = False,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> TraversalOutcome:
-        """Submit a traversal and block until the result returns."""
+        """Submit a traversal and block until the result returns.
+
+        QoS attributes pass straight to the scheduler: ``tenant`` for fair
+        queueing/quotas, ``priority`` for the priority policy, ``deadline``
+        (seconds) for cancellation — which surfaces here as
+        :class:`~repro.errors.TraversalCancelled`."""
         plan = query.compile() if isinstance(query, GTravel) else query
         record = SubmissionRecord(travel_id=-1, plan=plan)
-        travel_id, event = self.cluster.submit(plan)
+        travel_id, event = self.cluster.submit(
+            plan, tenant=tenant, priority=priority, deadline=deadline
+        )
         record.travel_id = travel_id
         if cold:
             # cold must be requested before submission to matter; the

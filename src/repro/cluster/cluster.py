@@ -34,6 +34,7 @@ from repro.net.topology import INFINIBAND_QDR, NetworkModel
 from repro.partition.edge_cut import Partitioner, make_partitioner
 from repro.runtime.base import InterferencePolicy
 from repro.runtime.simulated import SimRuntime
+from repro.sched.scheduler import SchedulerConfig, TraversalScheduler
 from repro.storage.costmodel import GPFS, DiskCostModel
 from repro.storage.layout import GraphStore
 from repro.storage.lsm import LSMConfig
@@ -79,6 +80,11 @@ class ClusterConfig:
     #: stream costs memory on long runs (bounded by ``trace_max_events``).
     trace_enabled: bool = False
     trace_max_events: Optional[int] = None
+    #: admission/fairness/backpressure limits for the traversal scheduler
+    #: (:mod:`repro.sched`). None = the transparent default config: no
+    #: bounds, no quotas — submissions launch immediately, as before. The
+    #: launch *policy* is selected by ``EngineOptions.scheduler``.
+    scheduler_config: Optional[SchedulerConfig] = None
 
     def engine_options(self) -> EngineOptions:
         if isinstance(self.engine, EngineOptions):
@@ -98,6 +104,7 @@ class Cluster:
         coordinator: Coordinator,
         registry: TravelRegistry,
         board: StatsBoard,
+        scheduler: TraversalScheduler,
     ):
         self.config = config
         self.runtime = runtime
@@ -106,6 +113,7 @@ class Cluster:
         self.coordinator = coordinator
         self.registry = registry
         self.board = board
+        self.scheduler = scheduler
 
     # -- construction --------------------------------------------------------
 
@@ -205,6 +213,13 @@ class Cluster:
         )
         runtime.register_coordinator(coordinator.on_message)
 
+        # The admission scheduler sits between Cluster.submit and the
+        # coordinator; with the default (transparent) SchedulerConfig every
+        # admitted traversal launches synchronously inside submit().
+        scheduler = TraversalScheduler.for_cluster(
+            runtime, coordinator, opts.scheduler, config.scheduler_config
+        )
+
         # Observability wiring: spans timestamp off the runtime clock, and a
         # pull collector turns the push-free layers (storage, network) into
         # gauges at snapshot time. Collectors must SET, never increment —
@@ -260,21 +275,52 @@ class Cluster:
             metrics.set_gauge("runtime.messages_sent", runtime.messages_sent)
             metrics.set_gauge("runtime.bytes_sent", runtime.bytes_sent)
             metrics.set_gauge("runtime.messages_dropped", runtime.messages_dropped)
+            metrics.set_gauge("sched.queue_depth", scheduler.queue_depth)
+            metrics.set_gauge("sched.inflight", scheduler.inflight_count)
 
         obs.metrics.add_collector(_collect_storage)
         if config.interference is not None and hasattr(config.interference, "bind_metrics"):
             config.interference.bind_metrics(obs.metrics)
-        return cls(config, runtime, partitioner, servers, coordinator, registry, board)
+        return cls(
+            config, runtime, partitioner, servers, coordinator, registry, board,
+            scheduler,
+        )
 
     # -- client API (paper §IV-A: submit the whole GTravel instance) ------------
 
     def _compile(self, query: Union[GTravel, TraversalPlan]) -> TraversalPlan:
         return query.compile() if isinstance(query, GTravel) else query
 
-    def submit(self, query: Union[GTravel, TraversalPlan]):
-        """Asynchronously submit; returns (travel_id, completion event)."""
+    def submit(
+        self,
+        query: Union[GTravel, TraversalPlan],
+        *,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
+        """Asynchronously submit; returns (travel_id, completion event).
+
+        ``tenant`` attributes the submission for fair queueing and quotas,
+        ``priority`` overrides the priority policy's default class, and
+        ``deadline`` (seconds from admission) arms cancellation: if the
+        traversal has not completed by then it fails with
+        :class:`~repro.errors.TraversalCancelled`. Raises
+        :class:`~repro.errors.AdmissionRejected` when the scheduler's
+        pending queue is full.
+        """
         with self.runtime.exclusive(self.config.coordinator_server):
-            return self.coordinator.submit(self._compile(query))
+            return self.scheduler.submit(
+                self._compile(query),
+                tenant=tenant,
+                priority=priority,
+                deadline=deadline,
+            )
+
+    def cancel(self, travel_id: TravelId, reason: str = "cancelled") -> bool:
+        """Cancel a queued or running traversal; True if anything happened."""
+        with self.runtime.exclusive(self.config.coordinator_server):
+            return self.scheduler.cancel(travel_id, reason)
 
     def traverse(
         self,
@@ -294,14 +340,23 @@ class Cluster:
         return self.runtime.run_until_complete(event, limit=limit)
 
     def traverse_many(
-        self, queries: list[Union[GTravel, TraversalPlan]], *, cold: bool = True
+        self,
+        queries: list[Union[GTravel, TraversalPlan]],
+        *,
+        cold: bool = True,
+        qos: Optional[list[dict]] = None,
     ) -> list[TraversalOutcome]:
         """Run several traversals concurrently (the paper's online workload:
         'as an online database system, our system needs to support concurrent
-        graph traversals')."""
+        graph traversals').
+
+        ``qos`` optionally carries one per-query dict of :meth:`submit`
+        keyword arguments (``tenant`` / ``priority`` / ``deadline``).
+        """
         if cold:
             self.cold_start()
-        events = [self.submit(q)[1] for q in queries]
+        specs = qos if qos is not None else [{} for _ in queries]
+        events = [self.submit(q, **spec)[1] for q, spec in zip(queries, specs)]
         outcomes = []
         for event in events:
             outcomes.append(self.runtime.run_until_complete(event))
@@ -420,9 +475,23 @@ class Cluster:
             spans=self.board.obs.spans,
             elapsed=outcome.stats.elapsed,
             result_count=len(outcome.result.vertices),
+            queue_wait=self._queue_wait(travel_id),
             planned=planned,
         )
         return outcome, report
+
+    def _queue_wait(self, travel_id: TravelId) -> Optional[float]:
+        """Admission-queue wait from the flight recorder (sched.submit →
+        sched.launch), or None if either event was not captured."""
+        submitted = launched = None
+        for ev in self.board.obs.trace.events_for(travel_id):
+            if ev.kind == "sched.submit" and submitted is None:
+                submitted = ev.clock
+            elif ev.kind == "sched.launch" and launched is None:
+                launched = ev.clock
+        if submitted is None or launched is None:
+            return None
+        return launched - submitted
 
     # -- maintenance --------------------------------------------------------------
 

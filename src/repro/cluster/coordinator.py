@@ -16,7 +16,6 @@ attempts, after which the client's event fails with
 
 from __future__ import annotations
 
-import itertools
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
@@ -25,7 +24,7 @@ from repro.engine.base import EngineKind, TraversalResult
 from repro.engine.registry import TravelEntry, TravelRegistry
 from repro.engine.statistics import StatsBoard
 from repro.engine.tracing import ExecTracker, SyncBarrierState
-from repro.errors import TraversalFailed
+from repro.errors import TraversalCancelled, TraversalFailed
 from repro.ids import COORDINATOR, IdAllocator, ServerId, TravelId, VertexId
 from repro.lang.optimizer import PlannedQuery, QueryPlanner
 from repro.lang.plan import TraversalPlan
@@ -113,6 +112,7 @@ class Coordinator:
         config: Optional[CoordinatorConfig] = None,
         on_complete: Optional[Callable[[TravelId], None]] = None,
         planner: Optional[QueryPlanner] = None,
+        on_terminal: Optional[Callable[[TravelId, str], None]] = None,
     ):
         self.ctx = ctx
         self.runtime = runtime
@@ -126,9 +126,12 @@ class Coordinator:
         self.config = config or CoordinatorConfig()
         self.on_complete = on_complete
         self.planner = planner
+        #: scheduler hook: called with (travel_id, "ok"|"failed"|"cancelled")
+        #: whenever a launched traversal reaches a terminal state
+        self.on_terminal = on_terminal
         self._active: dict[TravelId, ActiveTravel] = {}
         self._travel_ids = IdAllocator(1)
-        self._next_exec = itertools.count((ctx.nservers + 1) << 32)
+        self._next_exec = IdAllocator((ctx.nservers + 1) << 32)
 
     @property
     def is_sync(self) -> bool:
@@ -136,14 +139,32 @@ class Coordinator:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, plan: TraversalPlan):
+    def allocate_travel_id(self) -> TravelId:
+        """Hand out the next travel id (the scheduler allocates at admission
+        so a still-queued traversal is already addressable for cancel)."""
+        return self._travel_ids.next()
+
+    def submit(
+        self,
+        plan: TraversalPlan,
+        *,
+        travel_id: Optional[TravelId] = None,
+        client_event: Optional[object] = None,
+        submit_time: Optional[float] = None,
+    ):
         """Register and launch a traversal; returns (travel_id, event).
 
         The coordinator plans *once*: when a planner is configured, the
         rewritten plan is what gets registered and shipped to every server
         (restarts re-dispatch the same executed plan — no replanning
-        mid-traversal)."""
-        travel_id = self._travel_ids.next()
+        mid-traversal).
+
+        The scheduler pre-allocates ``travel_id``/``client_event`` at
+        admission and passes the admission time as ``submit_time`` so the
+        reported elapsed time includes queue wait; direct callers omit all
+        three and get the legacy launch-immediately behaviour."""
+        if travel_id is None:
+            travel_id = self._travel_ids.next()
         planned: Optional[PlannedQuery] = None
         executed = plan
         if self.planner is not None:
@@ -154,13 +175,17 @@ class Coordinator:
                 for rewrite in planned.rewrites:
                     self.metrics.count(f"planner.rewrite.{rewrite.name}")
         entry = self.registry.register(travel_id, executed)
-        event = self.runtime.completion_event()
+        event = (
+            client_event
+            if client_event is not None
+            else self.runtime.completion_event()
+        )
         tracker: Union[ExecTracker, SyncBarrierState]
         tracker = SyncBarrierState() if self.is_sync else ExecTracker()
         at = ActiveTravel(
             travel_id=travel_id,
             entry=entry,
-            submit_time=self.ctx.now(),
+            submit_time=self.ctx.now() if submit_time is None else submit_time,
             client_event=event,
             tracker=tracker,
             planned=planned,
@@ -206,7 +231,7 @@ class Coordinator:
         else:
             groups = sorted(self._source_groups(plan).items())  # type: ignore[assignment]
         for server, vids in groups:
-            eid = next(self._next_exec)
+            eid = self._next_exec.next()
             initial.append((eid, server, 0))
             self.trace.record(
                 "exec.created",
@@ -494,6 +519,66 @@ class Coordinator:
                 result=result, stats=stats, plan=original, executed_plan=executed
             )
         )
+        if self.on_terminal is not None:
+            self.on_terminal(at.travel_id, "ok")
+
+    # -- cancellation (scheduler deadlines / explicit cancel) ---------------------------
+
+    def cancel(self, travel_id: TravelId, reason: str = "cancelled") -> bool:
+        """Cleanly cancel a running traversal; True if it was active.
+
+        Unregistering from the travel registry is the whole termination
+        protocol: every outstanding execution checks the registry on
+        arrival and terminates itself as stale (the same machinery that
+        quiesces superseded attempts after a restart), so no per-execution
+        kill messages are needed. Coordinator state, engine caches, and
+        channel dedup state are all dropped; the client's event fails with
+        :class:`~repro.errors.TraversalCancelled`.
+        """
+        at = self._active.get(travel_id)
+        if at is None or at.done:
+            return False
+        at.done = True
+        del self._active[travel_id]
+        self.registry.unregister(travel_id)
+        self.board.pop(travel_id)
+        self.metrics.count("coord.cancelled")
+        self.spans.finish_travel(travel_id, status="cancelled")
+        self.trace.record(
+            "travel.cancelled",
+            travel_id=travel_id,
+            server_id=self.ctx.server_id,
+            attempt=at.entry.attempt,
+            reason=reason,
+        )
+        if self.on_complete is not None:
+            self.on_complete(travel_id)
+        at.client_event.fail(TraversalCancelled(travel_id, reason))
+        if self.on_terminal is not None:
+            self.on_terminal(travel_id, "cancelled")
+        return True
+
+    def inflight_by_server(self) -> dict[ServerId, int]:
+        """Outstanding executions per backend server across every active
+        traversal — the scheduler's backpressure signal. Async engines
+        count tracker-pending executions at their target servers; the sync
+        barrier counts one outstanding unit per server still owing its
+        step-done report."""
+        counts: dict[ServerId, int] = {}
+        for at in self._active.values():
+            if at.done:
+                continue
+            if self.is_sync:
+                barrier: SyncBarrierState = at.tracker  # type: ignore[assignment]
+                if not barrier.finished_steps:
+                    for server in range(self.ctx.nservers):
+                        if server not in barrier.done_servers:
+                            counts[server] = counts.get(server, 0) + 1
+            else:
+                tracker: ExecTracker = at.tracker  # type: ignore[assignment]
+                for target, _level, _origin in tracker.pending.values():
+                    counts[target] = counts.get(target, 0) + 1
+        return counts
 
     # -- failure detection and restart (paper §IV-C) ------------------------------------
 
@@ -534,6 +619,8 @@ class Coordinator:
                         f"no progress for {idle:.1f}s after {restarts} restarts",
                     )
                 )
+                if self.on_terminal is not None:
+                    self.on_terminal(at.travel_id, "failed")
                 return
             restarts += 1
             self._restart(at)

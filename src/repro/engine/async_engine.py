@@ -50,7 +50,7 @@ from repro.engine.visit import (
     needs_props,
     read_vertex,
 )
-from repro.ids import ExecId, ServerId, TravelId, VertexId
+from repro.ids import ExecId, IdAllocator, ServerId, TravelId, VertexId
 from repro.lang.filters import FilterSet
 from repro.net.message import (
     Anchors,
@@ -128,7 +128,8 @@ class AsyncServerEngine:
         #: kept until the traversal completes.
         self._sent: dict[TravelKey, dict[ExecId, tuple[ServerId, Message]]] = {}
         self._seq = itertools.count()
-        self._next_exec = itertools.count((ctx.server_id + 1) << 32)
+        # thread-safe: workers on the threaded runtime race into this
+        self._next_exec = IdAllocator((ctx.server_id + 1) << 32)
         self._workers = [
             ctx.spawn(self._worker(), name=f"worker{i}") for i in range(opts.workers)
         ]
@@ -450,7 +451,7 @@ class AsyncServerEngine:
         sent = self._sent.setdefault(work.travel_key, {})
         created: list[tuple[ExecId, ServerId, int]] = []
         for (nlvl, target), entries in sorted(sinks.out.items()):
-            eid = next(self._next_exec)
+            eid = self._next_exec.next()
             created.append((eid, target, nlvl))
             self.trace.record(
                 "exec.created",
@@ -473,7 +474,7 @@ class AsyncServerEngine:
             sent[eid] = (target, request)
             self._send(travel_id, target, request)
         for (rtn_level, owner), anchors in sorted(sinks.anchors_by_owner.items()):
-            eid = next(self._next_exec)
+            eid = self._next_exec.next()
             created.append((eid, owner, plan.final_level))
             self.trace.record(
                 "exec.created",

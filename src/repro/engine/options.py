@@ -55,6 +55,11 @@ class EngineOptions:
     #: fusion, predicate pushdown, final-step short-circuit), "cost" adds
     #: statistics-driven chain reversal with per-level cost estimates.
     planner: str = "off"
+    #: multi-traversal launch policy of the admission scheduler: "fifo"
+    #: (submission order — the legacy behaviour), "priority" (short
+    #: traversals first), or "wfq" (weighted-fair queueing across tenants).
+    #: Resource limits live in ``ClusterConfig.scheduler_config``.
+    scheduler: str = "fifo"
 
     @property
     def is_async(self) -> bool:

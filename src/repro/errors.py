@@ -52,6 +52,36 @@ class TraversalFailed(TraversalError):
         self.reason = reason
 
 
+class AdmissionRejected(TraversalError):
+    """The scheduler's bounded pending queue is full; the submission was
+    refused before a travel id was assigned.
+
+    Carries the ``tenant`` that submitted and a ``reason`` naming the limit
+    that tripped, so multi-tenant clients can back off per tenant.
+    """
+
+    def __init__(self, tenant: str, reason: str):
+        super().__init__(f"submission rejected for tenant {tenant!r}: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+class TraversalCancelled(TraversalError):
+    """A traversal was cancelled (deadline exceeded or explicit cancel)
+    before it produced a result.
+
+    Mirrors :class:`TraversalFailed`: carries ``travel_id`` and a
+    human-readable ``reason``. Cancellation is clean — outstanding
+    executions quiesce through the stale-attempt machinery and no partial
+    result is ever surfaced.
+    """
+
+    def __init__(self, travel_id: int, reason: str):
+        super().__init__(f"traversal {travel_id} cancelled: {reason}")
+        self.travel_id = travel_id
+        self.reason = reason
+
+
 class RuntimeUnavailable(ReproError):
     """Raised when an operation requires a runtime feature that is absent."""
 

@@ -14,18 +14,19 @@ Used by ``tests/test_chaos.py`` and the ``chaos`` bench experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.coordinator import CoordinatorConfig
 from repro.engine.base import EngineKind
-from repro.engine.options import EngineOptions
-from repro.errors import TraversalError
+from repro.engine.options import EngineOptions, options_for
+from repro.errors import TraversalCancelled, TraversalError
 from repro.faults.plan import FaultPlan, sample_fault_plan
 from repro.graph.builder import PropertyGraph
 from repro.lang.gtravel import GTravel
 from repro.lang.plan import TraversalPlan
+from repro.sched.scheduler import SchedulerConfig
 
 
 def _net_counters(snapshot: dict) -> dict:
@@ -187,4 +188,170 @@ def chaos_check(
         baseline_duration=duration,
         net_counters=counters,
         traces=traces,
+    )
+
+
+# -- concurrent chaos: mixed cancel + crash schedules ------------------------
+
+
+@dataclass
+class QueryVerdict:
+    """Differential verdict for one query of a concurrent chaos run."""
+
+    index: int
+    baseline: dict
+    faulty: Optional[dict]
+    error: Optional[str]
+    had_deadline: bool
+    cancelled: bool
+    matched: bool
+    failed_cleanly: bool
+
+    @property
+    def ok(self) -> bool:
+        """Per-query contract: identical to its serial fault-free oracle, a
+        clean declared failure, or — only if this query carried a deadline —
+        a :class:`~repro.errors.TraversalCancelled`."""
+        if self.cancelled:
+            return self.had_deadline
+        return self.matched or self.failed_cleanly
+
+
+@dataclass
+class ChaosManyOutcome:
+    """One concurrent differential chaos run: N queries submitted together
+    through the scheduler under a sampled fault plan, each judged against
+    its own serial fault-free oracle."""
+
+    seed: int
+    plan: FaultPlan
+    policy: str
+    verdicts: list[QueryVerdict]
+    #: coordinator/scheduler state left behind after every event resolved —
+    #: must be empty (no leaked registry entries, active travels, or queue)
+    leaked: list[str]
+    baseline_horizon: float
+    net_counters: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.leaked and all(v.ok for v in self.verdicts)
+
+
+def chaos_check_many(
+    graph: PropertyGraph,
+    queries: list[Union[GTravel, TraversalPlan]],
+    *,
+    seed: int,
+    engine: Union[EngineKind, EngineOptions] = EngineKind.GRAPHTREK,
+    nservers: int = 3,
+    scheduler: str = "fifo",
+    scheduler_config: Optional[SchedulerConfig] = None,
+    deadlines: Optional[list[Optional[float]]] = None,
+    tenants: Optional[list[str]] = None,
+    crash: bool = False,
+    reliable: bool = True,
+    max_drop: float = 0.12,
+    max_duplicate: float = 0.10,
+) -> ChaosManyOutcome:
+    """The concurrent variant of :func:`chaos_check`: submit every query at
+    once through the admission scheduler, under one sampled fault plan.
+
+    ``deadlines[i]`` (virtual seconds from admission, or None) arms
+    scheduler-driven cancellation for query *i*, so the run exercises mixed
+    cancel + crash schedules. The contract, per query: match its serial
+    fault-free oracle, fail cleanly, or — deadline queries only — cancel
+    cleanly. Co-running queries must be unaffected by a neighbour's
+    cancellation, and the cluster must hold zero scheduler/coordinator/
+    registry state once every completion event has resolved
+    (``ChaosManyOutcome.leaked``).
+    """
+    deadlines = deadlines if deadlines is not None else [None] * len(queries)
+    tenants = tenants if tenants is not None else ["default"] * len(queries)
+    if len(deadlines) != len(queries) or len(tenants) != len(queries):
+        raise ValueError("deadlines/tenants must align with queries")
+
+    baselines: list[dict] = []
+    durations: list[float] = []
+    for query in queries:
+        base, duration = run_fault_free(
+            graph, query, engine=engine, nservers=nservers
+        )
+        baselines.append(base)
+        durations.append(duration)
+    horizon = max(durations) if durations else 0.05
+
+    crash_window = (0.2 * horizon, 3.0 * horizon) if crash else None
+    plan = sample_fault_plan(
+        seed,
+        nservers=nservers,
+        max_drop=max_drop,
+        max_duplicate=max_duplicate,
+        crash_window=crash_window,
+    )
+    opts = engine if isinstance(engine, EngineOptions) else options_for(engine)
+    opts = replace(opts, scheduler=scheduler)
+    cluster = Cluster.build(
+        graph,
+        ClusterConfig(
+            nservers=nservers,
+            engine=opts,
+            fault_plan=plan,
+            reliable=reliable,
+            coordinator_config=chaos_coordinator_config(horizon),
+            scheduler_config=scheduler_config,
+        ),
+    )
+    cluster.cold_start()
+    submissions = [
+        cluster.submit(query, tenant=tenant, deadline=deadline)
+        for query, tenant, deadline in zip(queries, tenants, deadlines)
+    ]
+
+    verdicts: list[QueryVerdict] = []
+    for i, (travel_id, event) in enumerate(submissions):
+        faulty: Optional[dict] = None
+        error: Optional[str] = None
+        cancelled = False
+        try:
+            outcome = cluster.runtime.run_until_complete(event)
+            faulty = dict(outcome.result.returned)
+        except TraversalCancelled as exc:
+            cancelled = True
+            error = f"{type(exc).__name__}: {exc}"
+        except TraversalError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        verdicts.append(
+            QueryVerdict(
+                index=i,
+                baseline=baselines[i],
+                faulty=faulty,
+                error=error,
+                had_deadline=deadlines[i] is not None,
+                cancelled=cancelled,
+                matched=faulty is not None and faulty == baselines[i],
+                failed_cleanly=not cancelled and faulty is None and error is not None,
+            )
+        )
+
+    leaked: list[str] = []
+    if cluster.scheduler.queue_depth:
+        leaked.append(f"scheduler queue depth {cluster.scheduler.queue_depth}")
+    if cluster.scheduler.inflight_count:
+        leaked.append(f"scheduler inflight {cluster.scheduler.inflight_count}")
+    for travel_id, _ in submissions:
+        if cluster.registry.get(travel_id) is not None:
+            leaked.append(f"registry entry for travel {travel_id}")
+        if travel_id in cluster.coordinator._active:
+            leaked.append(f"active coordinator state for travel {travel_id}")
+    counters = _net_counters(cluster.metrics_snapshot())
+    cluster.shutdown()
+    return ChaosManyOutcome(
+        seed=seed,
+        plan=plan,
+        policy=scheduler,
+        verdicts=verdicts,
+        leaked=leaked,
+        baseline_horizon=horizon,
+        net_counters=counters,
     )

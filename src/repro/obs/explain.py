@@ -176,6 +176,9 @@ class ProfileReport:
     warnings: list[str]
     trace: dict[str, Any]
     result_count: Optional[int] = None
+    #: admission-queue wait (sched.submit → sched.launch, virtual seconds);
+    #: None when the scheduler launched synchronously or tracing missed it
+    queue_wait: Optional[float] = None
     #: planner audit trail (mode, rewrites, executed query) — empty dict
     #: when the run executed the plan as written
     planner: dict[str, Any] = field(default_factory=dict)
@@ -199,6 +202,7 @@ class ProfileReport:
             "elapsed": self.elapsed,
             "attempts": self.attempts,
             "result_count": self.result_count,
+            "queue_wait": self.queue_wait,
             "per_server": {str(s): self.per_server[s] for s in sorted(self.per_server)},
             "skew": round(self.skew, 6),
             "warnings": list(self.warnings),
@@ -216,7 +220,12 @@ class ProfileReport:
         lines = [
             f"PROFILE travel {self.travel_id} [{self.status}] "
             f"elapsed={self.elapsed if self.elapsed is not None else '?'}s "
-            f"attempts={self.attempts + 1}",
+            f"attempts={self.attempts + 1}"
+            + (
+                f" queue_wait={self.queue_wait:.6f}s"
+                if self.queue_wait is not None
+                else ""
+            ),
             f"  query: {self.query}",
             "  level  execs  units  fan-out  visited  cache-hit  wall-clock  skew",
         ]
@@ -254,6 +263,7 @@ def profile_traversal(
     spans: Optional[SpanTracer] = None,
     elapsed: Optional[float] = None,
     result_count: Optional[int] = None,
+    queue_wait: Optional[float] = None,
     planned: Optional[PlannedQuery] = None,
 ) -> ProfileReport:
     """Aggregate one traversal's execution DAG into a per-step profile.
@@ -348,6 +358,7 @@ def profile_traversal(
         warnings=list(dag.warnings),
         trace=dag.to_payload(),
         result_count=result_count,
+        queue_wait=queue_wait,
         planner=planner_doc,
         estimates=estimates,
     )

@@ -48,6 +48,7 @@ EVENT_KINDS = (
     "travel.restart",
     "travel.complete",
     "travel.failed",
+    "travel.cancelled",
     "exec.created",
     "exec.received",
     "exec.terminated",
@@ -61,6 +62,12 @@ EVENT_KINDS = (
     "fault.verdict",
     "fault.crash",
     "fault.recover",
+    # scheduler lifecycle (repro.sched): admission, launch, rejection,
+    # cancellation — annotations on the travel row, not DAG nodes
+    "sched.submit",
+    "sched.launch",
+    "sched.reject",
+    "sched.cancel",
 )
 
 #: default ring-buffer capacity — generous: a fig-scale traversal records
@@ -506,6 +513,8 @@ def assemble_trace(
             status = "ok"
         elif ev.kind == "travel.failed":
             status = "failed"
+        elif ev.kind == "travel.cancelled":
+            status = "cancelled"
 
     dag = TraversalDag(
         travel_id=travel_id,
@@ -567,6 +576,7 @@ _TRAVEL_EVENT_NAMES = {
     "travel.restart": "restart",
     "travel.complete": "complete",
     "travel.failed": "FAILED",
+    "travel.cancelled": "CANCELLED",
 }
 
 

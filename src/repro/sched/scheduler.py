@@ -1,0 +1,408 @@
+"""The multi-traversal scheduler: admission control, fair queueing,
+backpressure, and deadline cancellation.
+
+Sits between ``Client.submit`` and the coordinator (paper §I motivates this
+layer: "interferences among traversals easily create stragglers" in an
+online metadata store). Every submission is *admitted* into a bounded
+pending queue — or rejected with :class:`~repro.errors.AdmissionRejected`
+when the queue is full — and *launched* into the coordinator when the
+configured policy and resource limits allow:
+
+* ``max_inflight`` caps concurrently running traversals;
+* ``per_server_inflight`` is backpressure on the paper's execution model:
+  while any backend server has that many outstanding executions, no new
+  traversal launches (dispatch throttling instead of queue explosion);
+* per-tenant token buckets (``quota_capacity`` / ``quota_refill_rate``)
+  rate-limit launches per tenant, refilled on the runtime clock;
+* a deadline (per submission or ``default_deadline``) cancels a traversal
+  wherever it is — still queued, or mid-run via
+  :meth:`~repro.cluster.coordinator.Coordinator.cancel`, which quiesces
+  outstanding executions through the stale-attempt machinery.
+
+Determinism: on the simulated runtime every decision is a pure function of
+(submission order, policy state, virtual clock), so ``sched.*`` metrics and
+trace events of a seeded workload are byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import AdmissionRejected, TraversalCancelled
+from repro.ids import TravelId
+from repro.lang.plan import TraversalPlan
+from repro.sched.policy import SchedPolicy, make_policy
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission, fairness, and backpressure knobs.
+
+    The default configuration is *transparent*: no pending bound, no
+    in-flight caps, no quotas, no deadline — every submission launches
+    synchronously inside ``submit`` and the cluster behaves exactly as it
+    did without a scheduler.
+    """
+
+    #: bounded admission queue; ``None`` = unbounded (never reject)
+    max_pending: Optional[int] = None
+    #: concurrently *running* traversal cap; ``None`` = unbounded
+    max_inflight: Optional[int] = None
+    #: backpressure: defer launches while any server has this many
+    #: outstanding executions; ``None`` = off
+    per_server_inflight: Optional[int] = None
+    #: WFQ tenant weights (unlisted tenants weigh 1.0)
+    tenant_weights: Mapping[str, float] = field(default_factory=dict)
+    #: per-tenant token bucket on launches; ``None`` = no quota
+    quota_capacity: Optional[float] = None
+    #: tokens per virtual second
+    quota_refill_rate: float = 1.0
+    #: seconds from admission after which a traversal is cancelled;
+    #: ``None`` = no deadline unless the submission sets one
+    default_deadline: Optional[float] = None
+    #: re-check interval while blocked on backpressure or quotas
+    backpressure_poll: float = 0.005
+
+
+@dataclass
+class QueuedTravel:
+    """One admitted traversal, queued or in flight."""
+
+    travel_id: TravelId
+    plan: TraversalPlan
+    tenant: str
+    priority: Optional[int]
+    client_event: Any
+    admit_time: float
+    seq: int
+    key: tuple = ()
+    deadline: Optional[float] = None
+    #: WFQ start tag (set by the policy at admission)
+    vft_start: float = 0.0
+    state: str = "queued"  # queued | running | done | cancelled
+
+
+class TraversalScheduler:
+    """Deterministic admission + launch control in front of one coordinator.
+
+    All entry points assume the caller holds the coordinator server's
+    ``runtime.exclusive`` lock (``Cluster.submit`` provides it); callbacks
+    the scheduler arms itself (deadlines, polls) take the lock on their own.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        coordinator,
+        policy: SchedPolicy,
+        config: Optional[SchedulerConfig] = None,
+    ):
+        self.runtime = runtime
+        self.coordinator = coordinator
+        self.policy = policy
+        self.config = config or SchedulerConfig()
+        self.metrics = coordinator.metrics
+        self.trace = coordinator.trace
+        self._ctx = coordinator.ctx
+        self._seq = itertools.count()
+        self._heap: list[tuple[tuple, int, TravelId]] = []
+        self._queued: dict[TravelId, QueuedTravel] = {}
+        self._inflight: dict[TravelId, QueuedTravel] = {}
+        self._buckets: dict[str, tuple[float, float]] = {}  # tokens, last refill
+        self._pumping = False
+        self._repump = False
+        self._poll_armed = False
+        coordinator.on_terminal = self._on_travel_terminal
+
+    @classmethod
+    def for_cluster(
+        cls, runtime, coordinator, scheduler_name: str,
+        config: Optional[SchedulerConfig] = None,
+    ) -> "TraversalScheduler":
+        config = config or SchedulerConfig()
+        policy = make_policy(scheduler_name, dict(config.tenant_weights))
+        return cls(runtime, coordinator, policy, config)
+
+    # -- introspection (collectors must SET gauges from these) --------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queued)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def tenant_tokens(self, tenant: str) -> Optional[float]:
+        """Current token balance (after refill), or None without quotas."""
+        if self.config.quota_capacity is None:
+            return None
+        return self._refill(tenant, self._ctx.now())
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        plan: TraversalPlan,
+        *,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
+        """Admit one traversal; returns ``(travel_id, completion event)``.
+
+        Raises :class:`~repro.errors.AdmissionRejected` when the pending
+        queue is at ``max_pending`` — before a travel id is allocated, so a
+        rejected submission leaves no state anywhere.
+        """
+        now = self._ctx.now()
+        cfg = self.config
+        if cfg.max_pending is not None and len(self._queued) >= cfg.max_pending:
+            self.metrics.count("sched.rejected", tenant=tenant)
+            self.trace.record(
+                "sched.reject", server_id=self._ctx.server_id,
+                tenant=tenant, pending=len(self._queued),
+            )
+            raise AdmissionRejected(
+                tenant, f"pending queue full ({cfg.max_pending} traversals)"
+            )
+        travel_id = self.coordinator.allocate_travel_id()
+        event = self.runtime.completion_event()
+        entry = QueuedTravel(
+            travel_id=travel_id,
+            plan=plan,
+            tenant=tenant,
+            priority=priority,
+            client_event=event,
+            admit_time=now,
+            seq=next(self._seq),
+        )
+        entry.key = self.policy.key(entry)
+        relative = deadline if deadline is not None else cfg.default_deadline
+        if relative is not None:
+            entry.deadline = now + relative
+            self.runtime.schedule(
+                relative, lambda tid=travel_id: self._deadline_fire(tid)
+            )
+        self._queued[travel_id] = entry
+        heapq.heappush(self._heap, (entry.key, entry.seq, travel_id))
+        self.metrics.count("sched.submitted", tenant=tenant)
+        self.trace.record(
+            "sched.submit",
+            travel_id=travel_id,
+            server_id=self._ctx.server_id,
+            tenant=tenant,
+            policy=self.policy.name,
+            steps=plan.final_level,
+        )
+        self._pump()
+        return travel_id, event
+
+    # -- cancellation -------------------------------------------------------
+
+    def cancel(self, travel_id: TravelId, reason: str = "cancelled") -> bool:
+        """Cancel a queued or running traversal; True if anything happened.
+
+        A queued traversal is removed and its event failed with
+        :class:`~repro.errors.TraversalCancelled`; a running one is handed
+        to :meth:`Coordinator.cancel`, which unregisters it so outstanding
+        executions terminate as stale, then fails the event.
+        """
+        entry = self._queued.pop(travel_id, None)
+        if entry is not None:
+            entry.state = "cancelled"
+            self.metrics.count(
+                "sched.cancelled", tenant=entry.tenant, where="queued"
+            )
+            self.trace.record(
+                "sched.cancel",
+                travel_id=travel_id,
+                server_id=self._ctx.server_id,
+                tenant=entry.tenant,
+                where="queued",
+                reason=reason,
+            )
+            entry.client_event.fail(TraversalCancelled(travel_id, reason))
+            self._pump()
+            return True
+        if travel_id in self._inflight:
+            return self.coordinator.cancel(travel_id, reason)
+        return False
+
+    def _deadline_fire(self, travel_id: TravelId) -> None:
+        with self.runtime.exclusive(self.runtime.coordinator_server):
+            entry = self._queued.get(travel_id) or self._inflight.get(travel_id)
+            if entry is None or entry.state in ("done", "cancelled"):
+                return
+            self.cancel(travel_id, reason="deadline exceeded")
+
+    def _on_travel_terminal(self, travel_id: TravelId, status: str) -> None:
+        """Coordinator callback: a launched traversal reached a terminal
+        state (``ok`` / ``failed`` / ``cancelled``)."""
+        entry = self._inflight.pop(travel_id, None)
+        if entry is None:
+            return
+        entry.state = "cancelled" if status == "cancelled" else "done"
+        if status == "cancelled":
+            self.metrics.count(
+                "sched.cancelled", tenant=entry.tenant, where="running"
+            )
+            self.trace.record(
+                "sched.cancel",
+                travel_id=travel_id,
+                server_id=self._ctx.server_id,
+                tenant=entry.tenant,
+                where="running",
+                reason=status,
+            )
+        self._pump()
+
+    # -- the pump -----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Launch queued traversals until a limit blocks or the queue drains.
+
+        Re-entrant-safe: a launch can complete synchronously (zero-source
+        traversals resolve inside ``Coordinator.submit``) and re-enter via
+        ``_on_travel_terminal``; the guard flag folds that into the loop.
+        """
+        if self._pumping:
+            self._repump = True
+            return
+        self._pumping = True
+        try:
+            while True:
+                self._repump = False
+                launched = self._launch_next()
+                if not launched and not self._repump:
+                    break
+        finally:
+            self._pumping = False
+
+    def _launch_next(self) -> bool:
+        if not self._queued:
+            return False
+        cfg = self.config
+        if (
+            cfg.max_inflight is not None
+            and len(self._inflight) >= cfg.max_inflight
+        ):
+            return False  # a completion will pump again
+        if self._backpressured():
+            self._arm_poll(cfg.backpressure_poll)
+            return False
+        entry = self._pop_eligible()
+        if entry is None:
+            return False
+        self._launch(entry)
+        return True
+
+    def _backpressured(self) -> bool:
+        cap = self.config.per_server_inflight
+        if cap is None:
+            return False
+        counts = self.coordinator.inflight_by_server()
+        return bool(counts) and max(counts.values()) >= cap
+
+    def _pop_eligible(self) -> Optional[QueuedTravel]:
+        """Smallest-key queued entry whose tenant has quota, skipping (and
+        re-queueing) entries of exhausted tenants. Arms a refill poll when
+        everything queued is quota-blocked."""
+        now = self._ctx.now()
+        skipped: list[tuple[tuple, int, TravelId]] = []
+        chosen: Optional[QueuedTravel] = None
+        while self._heap:
+            item = heapq.heappop(self._heap)
+            entry = self._queued.get(item[2])
+            if entry is None:
+                continue  # cancelled while queued; drop the stale heap slot
+            if self._try_consume(entry.tenant, now):
+                chosen = entry
+                break
+            skipped.append(item)
+        for item in skipped:
+            heapq.heappush(self._heap, item)
+        if chosen is None:
+            if self._queued:  # every tenant is out of tokens: wait for refill
+                self._arm_poll(self._refill_eta(now))
+            return None
+        del self._queued[chosen.travel_id]
+        return chosen
+
+    def _launch(self, entry: QueuedTravel) -> None:
+        now = self._ctx.now()
+        entry.state = "running"
+        self.policy.on_launch(entry)
+        self._inflight[entry.travel_id] = entry
+        wait = now - entry.admit_time
+        self.metrics.count("sched.launched", tenant=entry.tenant)
+        self.metrics.observe("sched.wait_seconds", wait, tenant=entry.tenant)
+        self.trace.record(
+            "sched.launch",
+            travel_id=entry.travel_id,
+            server_id=self._ctx.server_id,
+            tenant=entry.tenant,
+            wait=wait,
+        )
+        self.coordinator.submit(
+            entry.plan,
+            travel_id=entry.travel_id,
+            client_event=entry.client_event,
+            submit_time=entry.admit_time,
+        )
+
+    # -- token buckets ------------------------------------------------------
+
+    def _refill(self, tenant: str, now: float) -> float:
+        cap = self.config.quota_capacity
+        assert cap is not None
+        tokens, last = self._buckets.get(tenant, (cap, now))
+        tokens = min(cap, tokens + (now - last) * self.config.quota_refill_rate)
+        self._buckets[tenant] = (tokens, now)
+        return tokens
+
+    def _try_consume(self, tenant: str, now: float) -> bool:
+        if self.config.quota_capacity is None:
+            return True
+        tokens = self._refill(tenant, now)
+        if tokens < 1.0:
+            return False
+        self._buckets[tenant] = (tokens - 1.0, now)
+        return True
+
+    def _refill_eta(self, now: float) -> float:
+        """Seconds until the best-off queued tenant reaches one token."""
+        rate = max(self.config.quota_refill_rate, 1e-9)
+        best = None
+        for entry in self._queued.values():
+            tokens = self._refill(entry.tenant, now)
+            need = max(0.0, (1.0 - tokens) / rate)
+            best = need if best is None else min(best, need)
+        return max(best if best is not None else 0.0, 1e-6)
+
+    # -- blocked-state polling ---------------------------------------------
+
+    def _arm_poll(self, delay: float) -> None:
+        if self._poll_armed:
+            return
+        self._poll_armed = True
+        self.runtime.schedule(max(delay, 1e-6), self._poll_fire)
+
+    def _poll_fire(self) -> None:
+        with self.runtime.exclusive(self.runtime.coordinator_server):
+            self._poll_armed = False
+            if self._queued:
+                self._pump()
+
+    # -- draining (tests / shutdown hygiene) --------------------------------
+
+    def drain_queued(self, reason: str = "shutdown") -> int:
+        """Cancel everything still queued; returns how many were dropped."""
+        dropped = 0
+        for travel_id in sorted(self._queued):
+            if self.cancel(travel_id, reason=reason):
+                dropped += 1
+        return dropped

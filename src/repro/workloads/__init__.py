@@ -15,6 +15,7 @@ from repro.workloads.queries import (
     audit_scan_query,
     data_audit_query,
     provenance_query,
+    qos_mixed_workload,
     rmat_kstep_query,
     suspicious_user_query,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "audit_scan_query",
     "data_audit_query",
     "provenance_query",
+    "qos_mixed_workload",
     "rmat_kstep_query",
     "suspicious_user_query",
     "RMATConfig",

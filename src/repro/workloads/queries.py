@@ -99,3 +99,52 @@ def rmat_kstep_query(source: int, steps: int, label: str = "link") -> GTravel:
     for _ in range(steps):
         q = q.e(label)
     return q
+
+
+def qos_mixed_workload(
+    seed: int,
+    nvertices: int,
+    *,
+    nscans: int = 1,
+    nsmall: int = 8,
+    small_steps: int = 2,
+    scan_steps: int = 8,
+    label: str = "link",
+) -> list[dict]:
+    """The multi-tenant QoS workload: ``nscans`` long ``scan_steps``-hop
+    batch scans co-running with ``nsmall`` short interactive traversals, all
+    over the same R-MAT graph.
+
+    Returns one dict per submission, in submission order (scans first, so
+    FIFO head-of-line blocking is on full display: every interactive query
+    arrives behind the whole batch)::
+
+        {"query": GTravel, "qos": {"tenant": ...}, "kind": "scan"|"small"}
+
+    The ``qos`` dict feeds straight into ``Cluster.submit``/``traverse_many``:
+    scans run as tenant ``batch``, the small queries as ``interactive``.
+    Deterministic per (seed, nvertices): sources come from a dedicated
+    ``random.Random(seed)``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    items = [
+        {
+            "query": rmat_kstep_query(rng.randrange(nvertices), scan_steps, label),
+            "qos": {"tenant": "batch"},
+            "kind": "scan",
+        }
+        for _ in range(nscans)
+    ]
+    for _ in range(nsmall):
+        items.append(
+            {
+                "query": rmat_kstep_query(
+                    rng.randrange(nvertices), small_steps, label
+                ),
+                "qos": {"tenant": "interactive"},
+                "kind": "small",
+            }
+        )
+    return items

@@ -1,0 +1,279 @@
+"""Unit tests for the admission scheduler (repro.sched): policies, admission
+control, quotas, and backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine.options import graphtrek_options
+from repro.errors import AdmissionRejected, SimulationError
+from repro.graph.builder import PropertyGraph
+from repro.lang.gtravel import GTravel
+from repro.sched import (
+    POLICY_NAMES,
+    FifoPolicy,
+    PriorityPolicy,
+    QueuedTravel,
+    SchedulerConfig,
+    WfqPolicy,
+    make_policy,
+)
+
+
+def chain_graph(n: int = 40) -> PropertyGraph:
+    g = PropertyGraph()
+    for i in range(n):
+        g.add_vertex(i, "node", {})
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, "link", {})
+    return g
+
+
+def kstep(src: int, steps: int) -> GTravel:
+    q = GTravel.v(src)
+    for _ in range(steps):
+        q = q.e("link")
+    return q
+
+
+def build(policy: str = "fifo", sched: SchedulerConfig = None, **cfg) -> Cluster:
+    return Cluster.build(
+        chain_graph(),
+        ClusterConfig(
+            nservers=3,
+            engine=graphtrek_options(scheduler=policy),
+            scheduler_config=sched,
+            **cfg,
+        ),
+    )
+
+
+def entry(seq: int, steps: int, tenant: str = "default", priority=None) -> QueuedTravel:
+    return QueuedTravel(
+        travel_id=seq,
+        plan=kstep(0, steps).compile(),
+        tenant=tenant,
+        priority=priority,
+        client_event=None,
+        admit_time=0.0,
+        seq=seq,
+    )
+
+
+# -- policy keys --------------------------------------------------------------
+
+
+def test_fifo_keys_follow_submission_order():
+    policy = FifoPolicy()
+    keys = [policy.key(entry(seq, steps=8 - seq)) for seq in range(4)]
+    assert keys == sorted(keys)
+
+
+def test_priority_defaults_to_step_count():
+    policy = PriorityPolicy()
+    long_first = policy.key(entry(0, steps=8))
+    short_later = policy.key(entry(1, steps=2))
+    assert short_later < long_first
+
+
+def test_priority_explicit_class_beats_step_count():
+    policy = PriorityPolicy()
+    urgent_scan = policy.key(entry(0, steps=8, priority=0))
+    lookup = policy.key(entry(1, steps=1))
+    assert urgent_scan < lookup
+
+
+def test_wfq_cheaper_traversal_gets_earlier_finish_tag():
+    policy = WfqPolicy()
+    scan = policy.key(entry(0, steps=8, tenant="batch"))
+    small = policy.key(entry(1, steps=1, tenant="interactive"))
+    assert small < scan
+
+
+def test_wfq_weight_divides_cost():
+    policy = WfqPolicy({"heavy": 4.0})
+    light = policy.key(entry(0, steps=7, tenant="light"))  # cost 8 / 1
+    heavy = policy.key(entry(1, steps=7, tenant="heavy"))  # cost 8 / 4
+    assert heavy < light
+
+
+def test_wfq_same_tenant_accumulates_finish_tags():
+    policy = WfqPolicy()
+    first = policy.key(entry(0, steps=1, tenant="t"))
+    second = policy.key(entry(1, steps=1, tenant="t"))
+    assert first < second
+
+
+def test_wfq_rejects_non_positive_weight():
+    policy = WfqPolicy({"bad": 0.0})
+    with pytest.raises(SimulationError):
+        policy.key(entry(0, steps=1, tenant="bad"))
+
+
+def test_make_policy_names():
+    for name in POLICY_NAMES:
+        assert make_policy(name).name == name
+    with pytest.raises(SimulationError):
+        make_policy("round-robin")
+
+
+# -- admission control ---------------------------------------------------------
+
+
+def test_transparent_default_launches_synchronously():
+    cluster = build()
+    travel_id, event = cluster.submit(kstep(0, 2))
+    assert cluster.scheduler.queue_depth == 0  # launched, not queued
+    outcome = cluster.runtime.run_until_complete(event)
+    assert sorted(outcome.result.vertices) == [2]
+
+
+def test_admission_rejected_when_pending_full():
+    cluster = build(sched=SchedulerConfig(max_inflight=1, max_pending=2))
+    events = [cluster.submit(kstep(i, 2))[1] for i in range(3)]  # 1 runs, 2 queue
+    with pytest.raises(AdmissionRejected) as err:
+        cluster.submit(kstep(3, 2), tenant="spiky")
+    assert err.value.tenant == "spiky"
+    snap = cluster.metrics_snapshot()
+    assert snap["counters"]["sched.rejected{tenant=spiky}"] == 1
+    for event in events:  # the admitted ones still complete
+        cluster.runtime.run_until_complete(event)
+
+
+def test_rejected_submission_leaves_no_state():
+    cluster = build(sched=SchedulerConfig(max_inflight=1, max_pending=1))
+    ids = [cluster.submit(kstep(i, 2))[0] for i in range(2)]
+    with pytest.raises(AdmissionRejected):
+        cluster.submit(kstep(2, 2))
+    assert cluster.scheduler.queue_depth == 1
+    # no travel id was burned: the next admitted submission is contiguous
+    next_id = cluster.coordinator.allocate_travel_id()
+    assert next_id == max(ids) + 1
+
+
+def test_max_inflight_limits_concurrency():
+    cluster = build(sched=SchedulerConfig(max_inflight=2))
+    events = [cluster.submit(kstep(i, 3))[1] for i in range(5)]
+    assert cluster.scheduler.inflight_count == 2
+    assert cluster.scheduler.queue_depth == 3
+    for event in events:
+        cluster.runtime.run_until_complete(event)
+    assert cluster.scheduler.inflight_count == 0
+    assert cluster.scheduler.queue_depth == 0
+
+
+def test_launch_order_respects_policy():
+    """Under priority scheduling a short traversal queued behind long ones
+    launches first once a slot frees."""
+    cluster = build("priority", sched=SchedulerConfig(max_inflight=1))
+    cluster.enable_tracing()
+    submissions = [
+        cluster.submit(kstep(0, 6)),  # launches immediately
+        cluster.submit(kstep(1, 6)),  # queued
+        cluster.submit(kstep(2, 1)),  # queued, but shortest: launches next
+    ]
+    for _, event in submissions:
+        cluster.runtime.run_until_complete(event)
+    launches = [
+        ev.travel_id
+        for ev in cluster.board.obs.trace.events()
+        if ev.kind == "sched.launch"
+    ]
+    assert launches[0] == submissions[0][0]
+    assert launches[1] == submissions[2][0]  # the short one jumped the queue
+
+
+# -- quotas & backpressure -----------------------------------------------------
+
+
+def test_token_bucket_throttles_tenant():
+    cluster = build(
+        "fifo",
+        sched=SchedulerConfig(quota_capacity=2.0, quota_refill_rate=50.0),
+    )
+    events = [cluster.submit(kstep(i, 1), tenant="t")[1] for i in range(4)]
+    # bucket holds 2 tokens: two launch instantly, two wait for refill
+    assert cluster.scheduler.inflight_count == 2
+    assert cluster.scheduler.queue_depth == 2
+    for event in events:
+        outcome = cluster.runtime.run_until_complete(event)
+        assert len(outcome.result.vertices) == 1
+    assert cluster.scheduler.queue_depth == 0
+
+
+def test_quota_only_throttles_the_exhausted_tenant():
+    cluster = build(
+        "fifo",
+        sched=SchedulerConfig(quota_capacity=1.0, quota_refill_rate=50.0),
+    )
+    ev_a = cluster.submit(kstep(0, 1), tenant="a")[1]
+    ev_a2 = cluster.submit(kstep(1, 1), tenant="a")[1]  # a is out of tokens
+    ev_b = cluster.submit(kstep(2, 1), tenant="b")[1]  # b is not
+    assert cluster.scheduler.inflight_count == 2  # a's first + b
+    assert cluster.scheduler.queue_depth == 1
+    for event in (ev_a, ev_a2, ev_b):
+        cluster.runtime.run_until_complete(event)
+
+
+def test_tenant_tokens_introspection():
+    cluster = build(sched=SchedulerConfig(quota_capacity=3.0))
+    assert cluster.scheduler.tenant_tokens("t") == 3.0
+    cluster.runtime.run_until_complete(cluster.submit(kstep(0, 1), tenant="t")[1])
+    assert cluster.scheduler.tenant_tokens("t") < 3.0
+    assert build().scheduler.tenant_tokens("t") is None  # quotas off
+
+
+def test_per_server_backpressure_defers_launches():
+    cluster = build(sched=SchedulerConfig(per_server_inflight=1))
+    first_id, first_ev = cluster.submit(kstep(0, 4))
+    second_id, second_ev = cluster.submit(kstep(5, 4))
+    # the first traversal has outstanding executions, so the second waits
+    assert cluster.scheduler.inflight_count == 1
+    assert cluster.scheduler.queue_depth == 1
+    cluster.runtime.run_until_complete(first_ev)
+    outcome = cluster.runtime.run_until_complete(second_ev)
+    assert sorted(outcome.result.vertices) == [9]
+
+
+def test_wait_metrics_and_gauges():
+    cluster = build(sched=SchedulerConfig(max_inflight=1))
+    events = [cluster.submit(kstep(i, 2), tenant="t")[1] for i in range(3)]
+    for event in events:
+        cluster.runtime.run_until_complete(event)
+    snap = cluster.metrics_snapshot()
+    assert snap["counters"]["sched.submitted{tenant=t}"] == 3
+    assert snap["counters"]["sched.launched{tenant=t}"] == 3
+    hist = snap["histograms"]["sched.wait_seconds{tenant=t}"]
+    assert hist["count"] == 3
+    assert hist["max"] > 0.0  # somebody actually queued
+    assert snap["gauges"]["sched.queue_depth"] == 0
+    assert snap["gauges"]["sched.inflight"] == 0
+
+
+def test_elapsed_includes_queue_wait():
+    """stats.elapsed is measured from admission, so a queued traversal's
+    latency covers its time in the queue — the bench's p99 metric."""
+    solo_small = build().traverse(kstep(1, 2), cold=False).stats.elapsed
+    solo_scan = build().traverse(kstep(0, 8), cold=False).stats.elapsed
+    cluster = build(sched=SchedulerConfig(max_inflight=1))
+    _, scan_ev = cluster.submit(kstep(0, 8))
+    _, small_ev = cluster.submit(kstep(1, 2))
+    cluster.runtime.run_until_complete(scan_ev)
+    queued = cluster.runtime.run_until_complete(small_ev).stats.elapsed
+    # the small query waited for the whole scan, so its latency exceeds the
+    # scan's solo duration — far more than its own solo run
+    assert queued > solo_scan > solo_small
+
+
+def test_drain_queued():
+    from repro.errors import TraversalCancelled
+
+    cluster = build(sched=SchedulerConfig(max_inflight=1))
+    events = [cluster.submit(kstep(i, 2))[1] for i in range(4)]
+    assert cluster.scheduler.drain_queued() == 3
+    assert cluster.scheduler.queue_depth == 0
+    cluster.runtime.run_until_complete(events[0])  # the running one finishes
+    for event in events[1:]:
+        with pytest.raises(TraversalCancelled):
+            cluster.runtime.run_until_complete(event)
