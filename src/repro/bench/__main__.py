@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "ablation_layout": lambda env: exp.exp_ablation_layout(),
     "chaos": lambda env: exp.exp_chaos(env),
     "scheduler": lambda env: exp.exp_scheduler(env),
+    "lang_ops": lambda env: exp.exp_lang_ops(env),
 }
 
 

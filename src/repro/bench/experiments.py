@@ -916,3 +916,106 @@ def exp_scheduler(
     return ExperimentResult(
         "scheduler", cells, rendered, checks, extra={"per_policy": per_policy}
     )
+
+
+# -- traversal-operator ablation (repeat / union / back / aggregate) ----------
+
+
+def exp_lang_ops(
+    env: Optional[BenchEnvironment] = None, *, nservers: int = 4
+) -> ExperimentResult:
+    """Traversal-operator ablation on the Darshan metadata graph: the
+    ``repeat``-based k-hop lineage, the server-side ``union``, and the mixed
+    ``agent_exploration`` query (``as_``/``back`` + ``union`` +
+    ``group_count``) on all three engines.
+
+    Claims checked: every engine reproduces the single-node oracle (result
+    sets *and* aggregates); the server-side ``union`` beats the client-side
+    ``union_results`` workaround (two full cold traversals) on both elapsed
+    time and message count, because the shared prefix runs once; and a rerun
+    of every query is byte-identical (canonical ordering end to end).
+    """
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.workloads import agent_exploration, k_hop_lineage
+
+    env = env or BenchEnvironment.from_env()
+    md = harness.darshan_graph(scale_users=12, seed=env.seed)
+    user = md.user_ids[0]
+    lineage_src = md.file_ids[0]
+    prefix = GTravel.v(user).e("run").e("hasExecutions")
+    queries = {
+        "k_hop_lineage": k_hop_lineage(lineage_src, hops=3).compile(),
+        "union": prefix.union(
+            GTravel.s().e("read"), GTravel.s().e("write")
+        ).compile(),
+        "agent_exploration": agent_exploration(user, kind="text").compile(),
+    }
+    client_legs = [
+        GTravel.v(user).e("run").e("hasExecutions").e("read").compile(),
+        GTravel.v(user).e("run").e("hasExecutions").e("write").compile(),
+    ]
+
+    cells = []
+    rows: dict[str, str] = {}
+    oracle_ok = True
+    rerun_ok = True
+    for qname, plan in queries.items():
+        ref = ReferenceEngine(md.graph).run(plan)
+        for kind in (EngineKind.SYNC, EngineKind.ASYNC, EngineKind.GRAPHTREK):
+            config = ClusterConfig(nservers=nservers, engine=kind)
+            if harness.tracing_enabled():
+                config.trace_enabled = True
+            cluster = Cluster.build(md.graph, config)
+            outcome = cluster.traverse(plan)
+            rerun = cluster.traverse(plan)
+            oracle_ok &= outcome.result.same_result(ref)
+            rerun_ok &= rerun.result.same_result(outcome.result)
+            cell = harness.Cell.from_outcome(kind, nservers, outcome)
+            cell.engine = f"{cell.engine}:{qname}"
+            cell.metrics = cluster.metrics_snapshot()
+            if harness.tracing_enabled():
+                cell.trace = cluster.trace_payload(label=f"lang-{qname}")
+            cells.append(cell)
+            rows[f"{qname} {kind.value}"] = (
+                f"{report.fmt_time(outcome.stats.elapsed)}  "
+                f"(msgs={outcome.stats.messages})"
+            )
+
+    # Client-side OR-composition baseline: two full cold traversals whose
+    # results are merged at the client (the paper's workaround).
+    server_cell = cell_lookup(cells)[(f"{GT}:union", nservers)]
+    cluster = Cluster.build(md.graph, ClusterConfig(nservers=nservers,
+                                                    engine=EngineKind.GRAPHTREK))
+    legs = [cluster.traverse(p) for p in client_legs]
+    client_elapsed = sum(o.stats.elapsed for o in legs)
+    client_msgs = sum(o.stats.messages for o in legs)
+    rows["union (client-side, 2 traversals)"] = (
+        f"{report.fmt_time(client_elapsed)}  (msgs={client_msgs})"
+    )
+
+    checks = [
+        ShapeCheck(
+            "engines_match_oracle",
+            oracle_ok,
+            "all engines reproduced the oracle's vertex sets and aggregates"
+            if oracle_ok else "an engine DIVERGED from the oracle",
+        ),
+        ShapeCheck(
+            "reruns_identical",
+            rerun_ok,
+            "second run of every query returned identical results",
+        ),
+        ShapeCheck(
+            "server_union_beats_client_union",
+            server_cell.elapsed < client_elapsed
+            and server_cell.messages < client_msgs,
+            f"server-side union {report.fmt_time(server_cell.elapsed)}/"
+            f"{server_cell.messages} msgs vs client-side "
+            f"{report.fmt_time(client_elapsed)}/{client_msgs} msgs "
+            "(shared prefix runs once)",
+        ),
+    ]
+    rendered = report.kv_table(
+        f"Traversal operators — metadata graph, {nservers} servers", rows
+    )
+    return ExperimentResult("lang_ops", cells, rendered, checks)

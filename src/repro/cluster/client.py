@@ -80,9 +80,11 @@ class GraphTrekClient:
             )
         return report
 
-    def query_union(self, *queries: Union[GTravel, TraversalPlan]) -> set[int]:
+    def query_union(self, *queries: Union[GTravel, TraversalPlan]) -> tuple[int, ...]:
         """OR-composition helper: run each traversal, union returned vertices
-        (the paper's workaround for the missing OR filter)."""
+        (the paper's workaround for the missing OR filter). Returns the
+        canonical sorted tuple so reruns are byte-identical; prefer the
+        server-side ``union(...)`` operator for new code."""
         outcomes = [self.query(q) for q in queries]
         return union_results(*(o.result.vertices for o in outcomes))
 

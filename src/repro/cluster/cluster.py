@@ -28,6 +28,7 @@ from repro.graph.stats import GraphSummary
 from repro.lang.optimizer import QueryPlanner
 from repro.ids import COORDINATOR, ServerId, TravelId
 from repro.net.reliable import ReliableChannel, ReliableConfig
+from repro.lang.composite import CompositePlan
 from repro.lang.gtravel import GTravel
 from repro.lang.plan import TraversalPlan
 from repro.net.topology import INFINIBAND_QDR, NetworkModel
@@ -288,12 +289,14 @@ class Cluster:
 
     # -- client API (paper §IV-A: submit the whole GTravel instance) ------------
 
-    def _compile(self, query: Union[GTravel, TraversalPlan]) -> TraversalPlan:
+    def _compile(
+        self, query: Union[GTravel, TraversalPlan, CompositePlan]
+    ) -> Union[TraversalPlan, CompositePlan]:
         return query.compile() if isinstance(query, GTravel) else query
 
     def submit(
         self,
-        query: Union[GTravel, TraversalPlan],
+        query: Union[GTravel, TraversalPlan, CompositePlan],
         *,
         tenant: str = "default",
         priority: Optional[int] = None,
@@ -324,7 +327,7 @@ class Cluster:
 
     def traverse(
         self,
-        query: Union[GTravel, TraversalPlan],
+        query: Union[GTravel, TraversalPlan, CompositePlan],
         *,
         cold: bool = True,
         limit: Optional[float] = None,
@@ -341,7 +344,7 @@ class Cluster:
 
     def traverse_many(
         self,
-        queries: list[Union[GTravel, TraversalPlan]],
+        queries: list[Union[GTravel, TraversalPlan, CompositePlan]],
         *,
         cold: bool = True,
         qos: Optional[list[dict]] = None,
@@ -417,22 +420,27 @@ class Cluster:
 
         return chrome_trace(self.board.obs.trace, label=label)
 
-    def explain(self, query: Union[GTravel, TraversalPlan]) -> dict:
+    def explain(self, query: Union[GTravel, TraversalPlan, CompositePlan]) -> dict:
         """EXPLAIN against *this* cluster's planner: when a planner mode is
         configured, the document shows original vs. optimized plan with the
         applied rewrites and (in ``cost`` mode) per-level cost estimates;
-        with the planner off it is the plain plan document. No traversal
-        runs."""
-        from repro.obs.explain import explain_plan, explain_planned
+        with the planner off it is the plain plan document. Composite plans
+        (repeat/union/back) get the operator-tree document with per-operator
+        cost estimates in ``cost`` mode; child plans are (re)planned
+        individually at dispatch, so rewrites never cross operator scopes.
+        No traversal runs."""
+        from repro.obs.explain import explain_composite, explain_plan, explain_planned
 
         plan = self._compile(query)
+        if isinstance(plan, CompositePlan):
+            return explain_composite(plan, planner=self.coordinator.planner)
         if self.coordinator.planner is not None:
             return explain_planned(self.coordinator.planner.plan(plan))
         return explain_plan(plan)
 
     def profile(
         self,
-        query: Union[GTravel, TraversalPlan],
+        query: Union[GTravel, TraversalPlan, CompositePlan],
         *,
         cold: bool = True,
         limit: Optional[float] = None,
@@ -452,6 +460,14 @@ class Cluster:
 
         self.enable_tracing()
         plan = self._compile(query)
+        if isinstance(plan, CompositePlan):
+            # Composite parents fan out into per-child linear traversals; each
+            # child is profilable on its own, but the parent has no single
+            # step timeline to attribute. Use explain() for the operator tree.
+            raise SimulationError(
+                "profile() supports linear plans only; composite plans "
+                "(repeat/union/back) are inspectable via explain()"
+            )
         # re-planning here is safe: the planner is pure, so this PlannedQuery
         # matches the one the coordinator derives at submit time
         planned = (

@@ -18,16 +18,22 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import Any, Callable, Optional, Union
 
-from repro.engine.base import EngineKind, TraversalResult
+from repro.engine.base import (
+    EngineKind,
+    TraversalOutcome,
+    TraversalResult,
+    TraversalStats,
+)
 from repro.engine.registry import TravelEntry, TravelRegistry
 from repro.engine.statistics import StatsBoard
 from repro.engine.tracing import ExecTracker, SyncBarrierState
-from repro.errors import TraversalCancelled, TraversalFailed
+from repro.errors import TraversalCancelled, TraversalError, TraversalFailed
 from repro.ids import COORDINATOR, IdAllocator, ServerId, TravelId, VertexId
+from repro.lang.composite import CompositePlan, composite_program
 from repro.lang.optimizer import PlannedQuery, QueryPlanner
-from repro.lang.plan import TraversalPlan
+from repro.lang.plan import TraversalPlan, reduce_aggregate
 from repro.obs.trace import sync_exec_id
 from repro.net.message import (
     ExecStatus,
@@ -78,6 +84,8 @@ class ActiveTravel:
     client_event: object
     tracker: Union[ExecTracker, SyncBarrierState]
     returned: dict[int, set[VertexId]] = field(default_factory=dict)
+    #: final-level group keys reported by the servers (``group_count`` plans)
+    groups: dict[VertexId, Any] = field(default_factory=dict)
     done: bool = False
     #: coordinator-side replay buffer for its own initial dispatches
     initial_sent: dict[int, tuple[ServerId, object]] = field(default_factory=dict)
@@ -96,6 +104,26 @@ class ActiveTravel:
     def plan(self) -> TraversalPlan:
         """The *executed* plan (post-rewrite when a planner is active)."""
         return self.entry.plan
+
+
+@dataclass
+class CompositeTravel:
+    """Coordinator-side state of one composite (repeat/union/back) traversal.
+
+    The coordinator spawns an orchestrator process that drives the shared
+    :func:`~repro.lang.composite.composite_program`; every child plan the
+    program yields runs as an ordinary linear traversal, so the distributed
+    machinery (tracking, restarts, caches) is reused unchanged.
+    """
+
+    travel_id: TravelId
+    plan: CompositePlan
+    client_event: object
+    submit_time: float
+    stats: TraversalStats
+    current_child: Optional[TravelId] = None
+    children: int = 0
+    done: bool = False
 
 
 class Coordinator:
@@ -130,6 +158,7 @@ class Coordinator:
         #: whenever a launched traversal reaches a terminal state
         self.on_terminal = on_terminal
         self._active: dict[TravelId, ActiveTravel] = {}
+        self._composites: dict[TravelId, CompositeTravel] = {}
         self._travel_ids = IdAllocator(1)
         self._next_exec = IdAllocator((ctx.nservers + 1) << 32)
 
@@ -163,6 +192,13 @@ class Coordinator:
         admission and passes the admission time as ``submit_time`` so the
         reported elapsed time includes queue wait; direct callers omit all
         three and get the legacy launch-immediately behaviour."""
+        if isinstance(plan, CompositePlan):
+            return self._submit_composite(
+                plan,
+                travel_id=travel_id,
+                client_event=client_event,
+                submit_time=submit_time,
+            )
         if travel_id is None:
             travel_id = self._travel_ids.next()
         planned: Optional[PlannedQuery] = None
@@ -306,6 +342,178 @@ class Coordinator:
         self.board.stats(at.travel_id).barrier_rounds += 1
         self.metrics.count("coord.barrier_rounds")
 
+    # -- composite orchestration (repeat / union / back) ---------------------------
+
+    def _submit_composite(
+        self,
+        plan: CompositePlan,
+        *,
+        travel_id: Optional[TravelId] = None,
+        client_event: Optional[object] = None,
+        submit_time: Optional[float] = None,
+    ):
+        """Register a composite traversal and spawn its orchestrator."""
+        if travel_id is None:
+            travel_id = self._travel_ids.next()
+        event = (
+            client_event
+            if client_event is not None
+            else self.runtime.completion_event()
+        )
+        ct = CompositeTravel(
+            travel_id=travel_id,
+            plan=plan,
+            client_event=event,
+            submit_time=self.ctx.now() if submit_time is None else submit_time,
+            stats=TraversalStats(engine=self.engine_kind),
+        )
+        self._composites[travel_id] = ct
+        self.metrics.count("coord.submitted")
+        self.metrics.count("coord.composite_submitted")
+        self.spans.travel_span(
+            travel_id, engine=self.engine_kind.value, steps=plan.final_level
+        )
+        self.trace.record(
+            "travel.submit",
+            travel_id=travel_id,
+            server_id=self.ctx.server_id,
+            engine=self.engine_kind.value,
+            steps=plan.final_level,
+            planner_mode=self.planner.mode if self.planner is not None else "off",
+            composite=True,
+        )
+        self.ctx.spawn(self._orchestrate(ct), name=f"composite-{travel_id}")
+        return travel_id, event
+
+    def _orchestrate(self, ct: CompositeTravel):
+        """Drive the shared composite program as a coordinator process.
+
+        Every child plan the program yields is submitted like an ordinary
+        traversal (planned, tracked, restartable) and its result is sent
+        back into the program. A failed child's completion event throws its
+        exception into this process — both runtimes inject it — which fails
+        the composite with the child's typed error.
+        """
+        reverse = bool(getattr(self.planner, "reverse_available", False))
+        prog = composite_program(
+            ct.plan, reverse_available=reverse, travel_id=ct.travel_id
+        )
+        try:
+            try:
+                child_plan = next(prog)
+                while True:
+                    child_id, child_event = self.submit(child_plan)
+                    ct.current_child = child_id
+                    ct.children += 1
+                    outcome = yield self.ctx.wait(child_event)
+                    ct.current_child = None
+                    if ct.done:
+                        return  # cancelled while the child was completing
+                    _merge_child_stats(ct.stats, outcome.stats)
+                    child_plan = prog.send(outcome.result)
+            except StopIteration as stop:
+                frontier, aggregate = stop.value
+        except TraversalError as exc:
+            ct.current_child = None
+            if not ct.done:
+                self._fail_composite(ct, self._rewrap(ct, exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            ct.current_child = None
+            if not ct.done:
+                self._fail_composite(
+                    ct,
+                    TraversalFailed(
+                        ct.travel_id, f"composite orchestration error: {exc}"
+                    ),
+                )
+            return
+        if not ct.done:
+            self._finish_composite(ct, frontier, aggregate)
+
+    @staticmethod
+    def _rewrap(ct: CompositeTravel, exc: TraversalError) -> TraversalError:
+        """Surface child errors under the composite's travel id."""
+        child_id = getattr(exc, "travel_id", ct.travel_id)
+        if child_id == ct.travel_id:
+            return exc
+        if isinstance(exc, TraversalCancelled):
+            return TraversalCancelled(
+                ct.travel_id, f"child traversal {child_id} cancelled: {exc.reason}"
+            )
+        reason = getattr(exc, "reason", str(exc))
+        return TraversalFailed(
+            ct.travel_id, f"child traversal {child_id} failed: {reason}"
+        )
+
+    def _finish_composite(self, ct: CompositeTravel, frontier, aggregate) -> None:
+        ct.done = True
+        del self._composites[ct.travel_id]
+        stats = ct.stats
+        network = self.runtime.network  # type: ignore[attr-defined]
+        submit_hop = network.client_latency(512)
+        total = len(frontier)
+        reply_bytes = 64 + 8 * total
+        if aggregate is not None:
+            # aggregates reply with the reduced groups, not the vertex set
+            reply_bytes = 64 + 16 * max(1, len(aggregate.groups))
+        stats.elapsed = (
+            self.ctx.now() - ct.submit_time
+            + submit_hop + network.client_latency(reply_bytes)
+        )
+        self.metrics.count("coord.completed")
+        self.metrics.observe(
+            "travel.elapsed_seconds", stats.elapsed, engine=self.engine_kind.value
+        )
+        self.metrics.observe("travel.result_vertices", total)
+        self.spans.finish_travel(
+            ct.travel_id, status="ok", results=total, restarts=stats.restarts
+        )
+        self.trace.record(
+            "travel.complete",
+            travel_id=ct.travel_id,
+            server_id=self.ctx.server_id,
+            attempt=0,
+            results=total,
+            restarts=stats.restarts,
+            children=ct.children,
+        )
+        result = TraversalResult(
+            travel_id=ct.travel_id,
+            returned={ct.plan.final_level: frozenset(frontier)},
+            aggregate=aggregate,
+        )
+        if self.on_complete is not None:
+            self.on_complete(ct.travel_id)
+        ct.client_event.succeed(
+            TraversalOutcome(
+                result=result, stats=stats, plan=ct.plan, executed_plan=None
+            )
+        )
+        if self.on_terminal is not None:
+            self.on_terminal(ct.travel_id, "ok")
+
+    def _fail_composite(self, ct: CompositeTravel, exc: TraversalError) -> None:
+        ct.done = True
+        self._composites.pop(ct.travel_id, None)
+        cancelled = isinstance(exc, TraversalCancelled)
+        status = "cancelled" if cancelled else "failed"
+        self.metrics.count("coord.cancelled" if cancelled else "coord.failed")
+        self.spans.finish_travel(ct.travel_id, status=status)
+        self.trace.record(
+            "travel.cancelled" if cancelled else "travel.failed",
+            travel_id=ct.travel_id,
+            server_id=self.ctx.server_id,
+            attempt=0,
+            restarts=ct.stats.restarts,
+            reason=str(exc),
+        )
+        if self.on_complete is not None:
+            self.on_complete(ct.travel_id)
+        ct.client_event.fail(exc)
+        if self.on_terminal is not None:
+            self.on_terminal(ct.travel_id, status)
+
     # -- message handling --------------------------------------------------------
 
     def on_message(self, msg: Message) -> None:
@@ -347,6 +555,8 @@ class Coordinator:
                 vertices=len(msg.vertices),
             )
             at.returned.setdefault(msg.level, set()).update(msg.vertices)
+            if msg.groups:
+                at.groups.update(msg.groups)
             if self.config.stream_results:
                 self._stream_enqueue(at, msg.level, msg.vertices)
             if self.is_sync:
@@ -502,16 +712,22 @@ class Coordinator:
             returned = {}
             for lvl, vids in at.returned.items():
                 returned.setdefault(at.planned.map_level(lvl), set()).update(vids)
+        aggregate = None
+        spec = at.plan.aggregate
+        if spec is not None:
+            # reduce over the deduplicated final frontier — idempotent under
+            # at-least-once report delivery and replayed executions
+            final = frozenset(returned.get(at.plan.final_level, set()))
+            aggregate = reduce_aggregate(spec, final, at.groups)
         result = TraversalResult(
             travel_id=at.travel_id,
             returned={lvl: frozenset(v) for lvl, v in returned.items()},
+            aggregate=aggregate,
         )
         del self._active[at.travel_id]
         self.registry.unregister(at.travel_id)
         if self.on_complete is not None:
             self.on_complete(at.travel_id)
-        from repro.engine.base import TraversalOutcome
-
         original = at.planned.original if at.planned is not None else at.plan
         executed = at.plan if original is not at.plan else None
         at.client_event.succeed(
@@ -535,6 +751,9 @@ class Coordinator:
         channel dedup state are all dropped; the client's event fails with
         :class:`~repro.errors.TraversalCancelled`.
         """
+        ct = self._composites.get(travel_id)
+        if ct is not None:
+            return self._cancel_composite(ct, reason)
         at = self._active.get(travel_id)
         if at is None or at.done:
             return False
@@ -556,6 +775,18 @@ class Coordinator:
         at.client_event.fail(TraversalCancelled(travel_id, reason))
         if self.on_terminal is not None:
             self.on_terminal(travel_id, "cancelled")
+        return True
+
+    def _cancel_composite(self, ct: CompositeTravel, reason: str) -> bool:
+        """Cancel a composite: mark it done (the orchestrator checks the
+        flag after every resume and exits silently), cancel the in-flight
+        child, and fail the client's event."""
+        if ct.done:
+            return False
+        child = ct.current_child
+        self._fail_composite(ct, TraversalCancelled(ct.travel_id, reason))
+        if child is not None:
+            self.cancel(child, reason=f"parent composite {ct.travel_id} cancelled")
         return True
 
     def inflight_by_server(self) -> dict[ServerId, int]:
@@ -707,6 +938,7 @@ class Coordinator:
         self.board.reset(at.travel_id)
         self.board.stats(at.travel_id).restarts = attempt
         at.returned.clear()
+        at.groups.clear()
         at.initial_sent.clear()
         at.replay_rounds = 0
         # restarted traversals re-stream from scratch; the client discards
@@ -726,6 +958,11 @@ class Coordinator:
     def progress(self, travel_id: TravelId) -> dict[int, int]:
         """Outstanding executions per step (async) or the current barrier
         level (sync), for user-facing progress estimation."""
+        ct = self._composites.get(travel_id)
+        if ct is not None:
+            if ct.current_child is not None:
+                return self.progress(ct.current_child)
+            return {}
         at = self._active.get(travel_id)
         if at is None:
             return {}
@@ -739,3 +976,26 @@ class Coordinator:
     def _send(self, travel_id: TravelId, dst: ServerId, msg: Message) -> None:
         self.board.message(travel_id, msg.nbytes)
         self.ctx.send(dst, msg)
+
+
+def _merge_child_stats(agg: TraversalStats, child: TraversalStats) -> None:
+    """Fold one child traversal's counters into the composite's totals.
+
+    ``elapsed`` is deliberately untouched — the composite stamps its own
+    end-to-end elapsed time; summing per-child elapsed would double-count
+    the client hops each child's completion charged.
+    """
+    agg.real_io_visits += child.real_io_visits
+    agg.combined_visits += child.combined_visits
+    agg.redundant_visits += child.redundant_visits
+    agg.messages += child.messages
+    agg.bytes_sent += child.bytes_sent
+    agg.barrier_rounds += child.barrier_rounds
+    agg.executions += child.executions
+    agg.restarts += child.restarts
+    agg.replays += child.replays
+    agg.result_chunks += child.result_chunks
+    for server, counts in child.per_server.items():
+        bucket = agg.per_server.setdefault(server, {})
+        for kind, n in counts.items():
+            bucket[kind] = bucket.get(kind, 0) + n

@@ -508,6 +508,7 @@ class AsyncServerEngine:
                     travel_id,
                     level=plan.final_level,
                     vertices=frozenset(sinks.final_results),
+                    groups=tuple(sorted(sinks.final_groups.items())),
                     attempt=attempt,
                 ),
             )

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.ids import TravelId, VertexId
-from repro.lang.plan import TraversalPlan
+from repro.lang.plan import AggregateResult, TraversalPlan
 
 
 class EngineKind(enum.Enum):
@@ -31,6 +31,8 @@ class TraversalResult:
 
     travel_id: TravelId
     returned: dict[int, frozenset[VertexId]]
+    #: reduced value of the plan's ``count()``/``group_count()`` (when any)
+    aggregate: Optional[AggregateResult] = None
 
     @property
     def vertices(self) -> frozenset[VertexId]:
@@ -47,6 +49,11 @@ class TraversalResult:
         """Level-by-level equality of returned vertex sets."""
         levels = set(self.returned) | set(other.returned)
         return all(self.at_level(lv) == other.at_level(lv) for lv in levels)
+
+    def same_result(self, other: "TraversalResult") -> bool:
+        """Vertex-set equality plus aggregate equality (the differential
+        contract for aggregate-bearing plans)."""
+        return self.same_vertices(other) and self.aggregate == other.aggregate
 
 
 @dataclass

@@ -20,7 +20,8 @@ from typing import Optional
 from repro.engine.base import EngineKind, TraversalResult, TraversalStats
 from repro.graph.builder import PropertyGraph
 from repro.ids import TravelId, VertexId
-from repro.lang.plan import TraversalPlan
+from repro.lang.composite import CompositePlan, composite_program
+from repro.lang.plan import AggregateSpec, TraversalPlan, reduce_aggregate
 
 
 class ReferenceEngine:
@@ -87,7 +88,20 @@ class ReferenceEngine:
             pruned[k] = keep
         return pruned  # type: ignore[return-value]
 
-    def run(self, plan: TraversalPlan, travel_id: TravelId = 0) -> TraversalResult:
+    def _group_keys(self, spec: AggregateSpec, vids) -> dict[VertexId, object]:
+        """Per-vertex group keys for a ``group_count`` over ``vids``."""
+        keys: dict[VertexId, object] = {}
+        for vid in vids:
+            vertex = self.graph.vertex(vid)
+            if spec.needs_props:
+                keys[vid] = vertex.effective_props().get(spec.by)
+            else:
+                keys[vid] = vertex.vtype
+        return keys
+
+    def run(self, plan, travel_id: TravelId = 0) -> TraversalResult:
+        if isinstance(plan, CompositePlan):
+            return self._run_composite(plan, travel_id)
         levels = self._forward_levels(plan)
         if plan.has_intermediate_returns:
             usable = self._backward_prune(plan, levels)
@@ -96,7 +110,37 @@ class ReferenceEngine:
         returned = {
             level: frozenset(usable[level]) for level in plan.return_levels
         }
-        return TraversalResult(travel_id=travel_id, returned=returned)
+        aggregate = None
+        if plan.aggregate is not None:
+            final = frozenset(usable[plan.final_level])
+            keys = (
+                self._group_keys(plan.aggregate, final)
+                if plan.aggregate.needs_keys
+                else {}
+            )
+            aggregate = reduce_aggregate(plan.aggregate, final, keys)
+        return TraversalResult(
+            travel_id=travel_id, returned=returned, aggregate=aggregate
+        )
+
+    def _run_composite(
+        self, cplan: CompositePlan, travel_id: TravelId
+    ) -> TraversalResult:
+        """Drive the shared composite program synchronously: every child plan
+        the program yields runs through :meth:`run`, making this the oracle
+        the distributed drivers are differentially tested against."""
+        prog = composite_program(cplan, reverse_available=False, travel_id=travel_id)
+        try:
+            child = next(prog)
+            while True:
+                child = prog.send(self.run(child, travel_id))
+        except StopIteration as stop:
+            frontier, aggregate = stop.value
+        return TraversalResult(
+            travel_id=travel_id,
+            returned={cplan.final_level: frozenset(frontier)},
+            aggregate=aggregate,
+        )
 
     def run_with_stats(
         self, plan: TraversalPlan, travel_id: TravelId = 0

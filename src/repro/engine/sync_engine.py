@@ -303,6 +303,7 @@ class SyncServerEngine:
                     travel_id,
                     level=plan.final_level,
                     vertices=frozenset(sinks.final_results),
+                    groups=tuple(sorted(sinks.final_groups.items())),
                     attempt=attempt,
                 ),
             )

@@ -44,6 +44,8 @@ class ExpandSinks:
     anchors_by_owner: dict[tuple[int, ServerId], set[VertexId]] = field(
         default_factory=dict
     )
+    #: final-level vertex -> group key (only for ``group_count`` plans)
+    final_groups: dict[VertexId, Any] = field(default_factory=dict)
 
 
 def labels_needed(plan: TraversalPlan, levels: list[int]) -> set[str]:
@@ -73,6 +75,11 @@ def fs_needs_props(fs: FilterSet) -> bool:
 def needs_props(
     plan: TraversalPlan, levels: list[int], level0_override: Optional[FilterSet]
 ) -> bool:
+    agg = plan.aggregate
+    if agg is not None and agg.needs_props and plan.final_level in levels:
+        # a property-keyed group_count reads the attribute block at the
+        # final level to resolve each vertex's group key
+        return True
     for lvl in levels:
         fs = filters_at(plan, lvl, level0_override)
         if not fs:
@@ -171,6 +178,13 @@ def expand_vertex(
     if level == plan.final_level:
         if plan.final_level in plan.return_levels:
             sinks.final_results.add(vid)
+            agg = plan.aggregate
+            if agg is not None and agg.needs_keys:
+                if agg.needs_props:
+                    props = dict(data.props) if data.props is not None else {}
+                    sinks.final_groups[vid] = props.get(agg.by)
+                else:
+                    sinks.final_groups[vid] = vertex_type
         for i, rtn_level in enumerate(rtn_levels):
             for anchor in anchors[i]:
                 sinks.anchors_by_owner.setdefault(

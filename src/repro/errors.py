@@ -66,6 +66,24 @@ class AdmissionRejected(TraversalError):
         self.reason = reason
 
 
+class RepeatDepthExceeded(TraversalError):
+    """A ``repeat(...).until(...)`` loop hit its depth cap with vertices
+    still failing the exit predicate.
+
+    The cap (``max_depth``, default 32) is the documented guarantee that an
+    unsatisfiable predicate terminates with a typed error instead of walking
+    the graph forever. Carries ``travel_id`` and the offending ``max_depth``.
+    """
+
+    def __init__(self, travel_id: int, max_depth: int):
+        super().__init__(
+            f"traversal {travel_id}: repeat().until() exceeded max_depth="
+            f"{max_depth} with unsatisfied vertices still in the frontier"
+        )
+        self.travel_id = travel_id
+        self.max_depth = max_depth
+
+
 class TraversalCancelled(TraversalError):
     """A traversal was cancelled (deadline exceeded or explicit cancel)
     before it produced a result.

@@ -37,6 +37,18 @@ def _net_counters(snapshot: dict) -> dict:
     }
 
 
+def _result_payload(result) -> dict:
+    """Comparable payload for a differential verdict: the per-level vertex
+    sets plus, when the plan carries an aggregate, its reduced value — faults
+    must corrupt neither. Levels are int keys, so the string key never
+    collides."""
+    payload: dict = dict(result.returned)
+    if result.aggregate is not None:
+        agg = result.aggregate
+        payload["aggregate"] = (agg.kind, agg.total, agg.groups)
+    return payload
+
+
 @dataclass
 class ChaosOutcome:
     """One differential chaos run: fault-free baseline vs. faulty rerun."""
@@ -74,7 +86,7 @@ def run_fault_free(
     outcome = cluster.traverse(query)
     duration = cluster.now - start
     cluster.shutdown()
-    return dict(outcome.result.returned), duration
+    return _result_payload(outcome.result), duration
 
 
 def run_under_faults(
@@ -109,7 +121,7 @@ def run_under_faults(
     error: Optional[str] = None
     try:
         outcome = cluster.traverse(query)
-        returned = dict(outcome.result.returned)
+        returned = _result_payload(outcome.result)
     except TraversalError as exc:
         error = f"{type(exc).__name__}: {exc}"
     counters = _net_counters(cluster.metrics_snapshot())
@@ -315,7 +327,7 @@ def chaos_check_many(
         cancelled = False
         try:
             outcome = cluster.runtime.run_until_complete(event)
-            faulty = dict(outcome.result.returned)
+            faulty = _result_payload(outcome.result)
         except TraversalCancelled as exc:
             cancelled = True
             error = f"{type(exc).__name__}: {exc}"
@@ -344,6 +356,8 @@ def chaos_check_many(
             leaked.append(f"registry entry for travel {travel_id}")
         if travel_id in cluster.coordinator._active:
             leaked.append(f"active coordinator state for travel {travel_id}")
+        if travel_id in cluster.coordinator._composites:
+            leaked.append(f"composite coordinator state for travel {travel_id}")
     counters = _net_counters(cluster.metrics_snapshot())
     cluster.shutdown()
     return ChaosManyOutcome(

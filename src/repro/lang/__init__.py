@@ -1,7 +1,18 @@
 """GTravel: the traversal-aware query language of the paper (§III)."""
 
+from repro.lang.composite import (
+    DEFAULT_MAX_DEPTH,
+    AsOp,
+    BackOp,
+    CompositeOp,
+    CompositePlan,
+    FilterNode,
+    RepeatOp,
+    UnionOp,
+    composite_program,
+)
 from repro.lang.filters import EQ, IN, RANGE, FilterOp, FilterSet, PropertyFilter
-from repro.lang.gtravel import GTravel, union_results
+from repro.lang.gtravel import CompiledPlan, GTravel, union_results
 from repro.lang.optimizer import (
     CostParams,
     PlanCost,
@@ -9,7 +20,14 @@ from repro.lang.optimizer import (
     QueryPlanner,
     Rewrite,
 )
-from repro.lang.plan import Step, TraversalPlan
+from repro.lang.plan import (
+    AggregateResult,
+    AggregateSpec,
+    Step,
+    TraversalPlan,
+    canonical_groups,
+    reduce_aggregate,
+)
 
 __all__ = [
     "EQ",
@@ -22,6 +40,20 @@ __all__ = [
     "union_results",
     "Step",
     "TraversalPlan",
+    "CompiledPlan",
+    "AggregateSpec",
+    "AggregateResult",
+    "canonical_groups",
+    "reduce_aggregate",
+    "CompositeOp",
+    "CompositePlan",
+    "FilterNode",
+    "RepeatOp",
+    "UnionOp",
+    "AsOp",
+    "BackOp",
+    "DEFAULT_MAX_DEPTH",
+    "composite_program",
     "CostParams",
     "PlanCost",
     "PlannedQuery",

@@ -228,6 +228,10 @@ def _annotate(plan: TraversalPlan) -> tuple[TraversalPlan, list[Rewrite]]:
         plan.num_steps >= 1
         and not plan.has_intermediate_returns
         and not plan.steps[-1].vertex_filters
+        # a group_count needs every final vertex *visited* so its group key
+        # (type or property) can be captured; short-circuit records
+        # destinations sender-side without a visit, so it is pinned off
+        and not (plan.aggregate is not None and plan.aggregate.needs_keys)
     ):
         updates["short_circuit_final"] = True
         rewrites.append(
@@ -259,6 +263,10 @@ def _reversal_candidate(
         n < 1
         or plan.source_ids is not None
         or plan.has_intermediate_returns
+        # aggregates reduce the final level at the coordinator; a reversed
+        # plan returns its results through the rtn-redirection machinery,
+        # which does not carry group keys — reversal is pinned off
+        or plan.aggregate is not None
         or any(l.startswith("~") for s in plan.steps for l in s.labels)
     ):
         return None
@@ -507,3 +515,202 @@ class QueryPlanner:
             cost_executed=cost_executed,
             level_map=level_map,
         )
+
+
+# -- composite cost estimation -------------------------------------------------
+#
+# Composite plans (repeat / union / back) execute as a sequence of linear
+# child plans driven by the coordinator's orchestrator; each child is planned
+# individually at dispatch time, so rewrite boundaries are pinned at
+# repeat/union scopes by construction (a rewrite can never cross an operator
+# boundary — it only ever sees one child). The estimator below exists for
+# EXPLAIN: a coarse, deterministic per-operator cost walk over the summary.
+
+#: assumed iterations for ``repeat().until()`` loops, whose true depth is
+#: data-dependent (bounded by the op's ``max_depth``)
+UNTIL_ASSUMED_ITERS = 4
+
+#: assumed selectivity for a standalone filter node in a sub-chain
+FILTER_ASSUMED_SELECTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class CompositeOpEstimate:
+    """Per-top-level-operator estimate for a composite plan's EXPLAIN."""
+
+    op: str
+    detail: str
+    rows_out: float
+    cost: float
+
+    def payload(self) -> dict:
+        return {
+            "op": self.op,
+            "detail": self.detail,
+            "rows_out": round(self.rows_out, 3),
+            "cost": round(self.cost, 6),
+        }
+
+
+@dataclass(frozen=True)
+class CompositePlanCost:
+    ops: tuple[CompositeOpEstimate, ...]
+    total: float
+
+    def payload(self) -> dict:
+        return {
+            "total": round(self.total, 6),
+            "ops": [op.payload() for op in self.ops],
+        }
+
+
+def _label_fanout(summary: GraphSummary, labels) -> float:
+    """Expected out-edges per frontier vertex across ``labels``."""
+    total_v = float(max(summary.total_vertices, 1))
+    edges = 0.0
+    for label in labels:
+        stats = summary.label_stats(label)
+        edges += float(sum(stats.src_type_counts.values()))
+    return edges / total_v
+
+
+def _estimate_step_run(
+    summary: GraphSummary, params: CostParams, rows: float, steps
+) -> tuple[float, float]:
+    """(rows_out, cost) of running ``steps`` from a ``rows``-vertex frontier."""
+    total_v = float(max(summary.total_vertices, 1))
+    cost = 0.0
+    for step in steps:
+        edges = rows * _label_fanout(summary, step.labels)
+        nxt = min(edges, total_v)
+        cost += (
+            rows * (params.seek + params.visit)
+            + edges * params.record
+            + nxt * params.dispatch
+        )
+        if step.vertex_filters:
+            nxt *= FILTER_ASSUMED_SELECTIVITY
+        rows = nxt
+    return rows, cost
+
+
+def _estimate_sub_ops(
+    summary: GraphSummary, params: CostParams, rows: float, ops
+) -> tuple[float, float]:
+    """(rows_out, cost) of a repeat-body / union-branch sub-chain."""
+    from repro.lang.composite import FilterNode, RepeatOp, Step, UnionOp
+
+    cost = 0.0
+    for op in ops:
+        if isinstance(op, Step):
+            rows, c = _estimate_step_run(summary, params, rows, (op,))
+            cost += c
+        elif isinstance(op, FilterNode):
+            cost += rows * (params.seek + params.props_scan + params.visit)
+            rows *= FILTER_ASSUMED_SELECTIVITY
+        elif isinstance(op, RepeatOp):
+            iters = op.times if op.times is not None else min(
+                op.max_depth, UNTIL_ASSUMED_ITERS
+            )
+            for _ in range(iters):
+                rows, c = _estimate_sub_ops(summary, params, rows, op.body)
+                cost += c
+        elif isinstance(op, UnionOp):
+            total_v = float(max(summary.total_vertices, 1))
+            merged = 0.0
+            for branch in op.branches:
+                out, c = _estimate_sub_ops(summary, params, rows, branch)
+                merged += out
+                cost += c
+            rows = min(merged, total_v)
+    return rows, cost
+
+
+def estimate_composite_plan(cplan, summary: GraphSummary, params: CostParams):
+    """Coarse per-operator estimate of a composite plan, for EXPLAIN."""
+    from repro.lang.composite import (
+        AsOp,
+        BackOp,
+        FilterNode,
+        RepeatOp,
+        Step,
+        UnionOp,
+        describe_ops,
+    )
+
+    rows = float(len(cplan.source_ids))
+    ops: list[CompositeOpEstimate] = []
+    bindings: dict[str, float] = {}
+    source_cost = rows * (
+        params.seek
+        + (params.props_scan if _fs_needs_props(cplan.source_filters) else 0.0)
+        + params.visit
+    )
+    ops.append(CompositeOpEstimate("source", "v(...)", rows, source_cost))
+    steps_since: dict[str, list] = {}
+    for op in cplan.ops:
+        if isinstance(op, AsOp):
+            bindings[op.name] = rows
+            steps_since[op.name] = []
+            ops.append(CompositeOpEstimate("as", f"as_({op.name!r})", rows, 0.0))
+            continue
+        if isinstance(op, Step):
+            for trail in steps_since.values():
+                trail.append(op)
+            rows, cost = _estimate_step_run(summary, params, rows, (op,))
+            ops.append(
+                CompositeOpEstimate("step", op.describe().lstrip("."), rows, cost)
+            )
+        elif isinstance(op, FilterNode):
+            cost = rows * (params.seek + params.props_scan + params.visit)
+            rows *= FILTER_ASSUMED_SELECTIVITY
+            ops.append(CompositeOpEstimate("filter", "va(...)", rows, cost))
+        elif isinstance(op, RepeatOp):
+            iters = op.times if op.times is not None else min(
+                op.max_depth, UNTIL_ASSUMED_ITERS
+            )
+            cost = 0.0
+            for _ in range(iters):
+                rows, c = _estimate_sub_ops(summary, params, rows, op.body)
+                cost += c
+            kind = (
+                f"times({op.times})"
+                if op.times is not None
+                else f"until(..., max_depth={op.max_depth}) ~{iters} iter(s)"
+            )
+            ops.append(
+                CompositeOpEstimate(
+                    "repeat", f"repeat({describe_ops(op.body)}).{kind}", rows, cost
+                )
+            )
+        elif isinstance(op, UnionOp):
+            total_v = float(max(summary.total_vertices, 1))
+            merged, cost = 0.0, 0.0
+            for branch in op.branches:
+                out, c = _estimate_sub_ops(summary, params, rows, branch)
+                merged += out
+                cost += c
+            rows = min(merged, total_v)
+            ops.append(
+                CompositeOpEstimate(
+                    "union", f"union of {len(op.branches)} branch(es)", rows, cost
+                )
+            )
+        elif isinstance(op, BackOp):
+            bound = bindings.get(op.name, rows)
+            # one reverse pass over the intervening steps (or a forward
+            # replay from the binding — same step count either way)
+            _, cost = _estimate_step_run(
+                summary, params, rows, steps_since.get(op.name, ())
+            )
+            rows = bound
+            ops.append(
+                CompositeOpEstimate("back", f"back({op.name!r})", rows, cost)
+            )
+    if cplan.aggregate is not None:
+        ops.append(
+            CompositeOpEstimate(
+                "aggregate", cplan.aggregate.describe().lstrip("."), rows, 0.0
+            )
+        )
+    return CompositePlanCost(tuple(ops), sum(op.cost for op in ops))

@@ -15,7 +15,7 @@ returned only if some path through it reaches the end of the chain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.errors import QueryError
 from repro.ids import VertexId
@@ -55,6 +55,98 @@ class Step:
         return out
 
 
+#: ``group_count`` keys the servers can resolve without a property read:
+#: the vertex type is encoded in the location-index key.
+_KEY_ENCODED_BYS = (None, "label", "type")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A coordinator-side aggregation attached to a linear plan.
+
+    ``kind`` is ``"count"`` or ``"group_count"``; ``by`` names the grouping
+    key for group_count — ``"label"``/``"type"`` group by vertex type (key-
+    encoded, no property read), any other string groups by that property's
+    value (vertices missing the property land in the ``None`` bucket).
+    """
+
+    kind: str
+    by: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("count", "group_count"):
+            raise QueryError(f"unknown aggregate kind {self.kind!r}")
+        if self.kind == "count" and self.by is not None:
+            raise QueryError("count() takes no grouping key")
+        if self.kind == "group_count" and not isinstance(self.by, (str, type(None))):
+            raise QueryError("group_count(by=...) requires a string key or None")
+
+    @property
+    def needs_keys(self) -> bool:
+        """True when servers must attach a per-vertex group key to the final
+        result report (any group_count)."""
+        return self.kind == "group_count"
+
+    @property
+    def needs_props(self) -> bool:
+        """True when the group key requires the vertex's attribute block
+        (a property grouping; type grouping is key-encoded)."""
+        return self.kind == "group_count" and self.by not in _KEY_ENCODED_BYS
+
+    def describe(self) -> str:
+        if self.kind == "count":
+            return ".count()"
+        if self.by is None:
+            return ".group_count()"
+        return f".group_count(by={self.by!r})"
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """The reduced value of an :class:`AggregateSpec` over a final frontier.
+
+    ``groups`` is canonically ordered — ``None`` bucket last, then by the
+    string form of the key — so identical traversals produce byte-identical
+    renderings on every rerun.
+    """
+
+    kind: str
+    total: int
+    groups: tuple[tuple[Any, int], ...] = ()
+
+    def as_dict(self) -> dict:
+        return dict(self.groups)
+
+
+def canonical_groups(items) -> tuple[tuple[Any, int], ...]:
+    """Deterministic ordering for group-count buckets."""
+    return tuple(sorted(items, key=lambda kv: (kv[0] is None, str(kv[0]))))
+
+
+def reduce_aggregate(
+    spec: AggregateSpec, final_vertices, keys: Mapping[VertexId, Any]
+) -> AggregateResult:
+    """The one aggregation reduce, shared by the oracle and the coordinator.
+
+    ``final_vertices`` is the deduplicated final frontier; ``keys`` maps each
+    vertex to its group key (vertices absent from ``keys`` land in the
+    ``None`` bucket — e.g. ``group_count`` on a property some vertices lack).
+    The reduce is idempotent under at-least-once delivery because it runs
+    over the deduplicated vertex set, not over per-message counts.
+    """
+    if spec.kind == "count":
+        return AggregateResult(kind="count", total=len(final_vertices))
+    counter: dict[Any, int] = {}
+    for vid in final_vertices:
+        key = keys.get(vid)
+        counter[key] = counter.get(key, 0) + 1
+    return AggregateResult(
+        kind="group_count",
+        total=len(final_vertices),
+        groups=canonical_groups(counter.items()),
+    )
+
+
 @dataclass(frozen=True)
 class TraversalPlan:
     """The engine-facing query representation."""
@@ -70,6 +162,9 @@ class TraversalPlan:
     #: result set without being dispatched as executions (valid only when the
     #: final step has no vertex filters and no intermediate rtn marks)
     short_circuit_final: bool = False
+    #: coordinator-side reduction over the final level (``count()`` /
+    #: ``group_count(by=...)``); None = plain vertex-set return
+    aggregate: Optional[AggregateSpec] = None
 
     def __post_init__(self) -> None:
         for level in self.rtn_levels:
@@ -79,6 +174,11 @@ class TraversalPlan:
                 )
         if self.source_ids is not None and len(self.source_ids) == 0:
             raise QueryError("v() with explicit ids requires at least one id")
+        if self.aggregate is not None and self.has_intermediate_returns:
+            raise QueryError(
+                "aggregates reduce the final level; rtn() marks at other "
+                "levels cannot be combined with count()/group_count()"
+            )
 
     @property
     def num_steps(self) -> int:
@@ -138,4 +238,6 @@ class TraversalPlan:
             out += step.describe()
             if level in self.rtn_levels:
                 out += ".rtn()"
+        if self.aggregate is not None:
+            out += self.aggregate.describe()
         return out

@@ -94,15 +94,23 @@ class ExecStatus(Message):
 
 @dataclass
 class ResultReport(Message):
-    """Vertices to return to the client, at one return level."""
+    """Vertices to return to the client, at one return level.
+
+    ``groups`` carries per-vertex group keys when the plan ends in a
+    ``group_count()`` aggregate — ``(vertex id, key)`` pairs, sorted by
+    vertex id so reports are deterministic. The coordinator reduces over
+    the *deduplicated* vertex set, so re-sent reports (restarts,
+    at-least-once delivery) cannot double-count.
+    """
 
     level: int = 0
     vertices: frozenset[VertexId] = frozenset()
+    groups: tuple = ()
     attempt: int = 0
 
     @property
     def nbytes(self) -> int:
-        return _HEADER_BYTES + 8 * len(self.vertices)
+        return _HEADER_BYTES + 8 * len(self.vertices) + 16 * len(self.groups)
 
 
 @dataclass

@@ -50,6 +50,12 @@ def _filters_payload(filters: FilterSet) -> list[dict[str, Any]]:
     return out
 
 
+def _aggregate_payload(spec) -> Optional[dict[str, Any]]:
+    if spec is None:
+        return None
+    return {"kind": spec.kind, "by": spec.by}
+
+
 def explain_plan(plan: TraversalPlan) -> dict[str, Any]:
     """The compiled step plan as a structured, canonical-JSON-safe dict."""
     steps = []
@@ -75,6 +81,7 @@ def explain_plan(plan: TraversalPlan) -> dict[str, Any]:
         "rtn_levels": sorted(plan.rtn_levels),
         "return_levels": sorted(plan.return_levels),
         "has_intermediate_returns": plan.has_intermediate_returns,
+        "aggregate": _aggregate_payload(plan.aggregate),
         "annotations": {
             "pushdown": plan.pushdown,
             "short_circuit_final": plan.short_circuit_final,
@@ -93,8 +100,84 @@ def empty_plan_document() -> dict[str, Any]:
         "rtn_levels": [],
         "return_levels": [0],
         "has_intermediate_returns": False,
+        "aggregate": None,
         "annotations": {"pushdown": False, "short_circuit_final": False},
     }
+
+
+def _composite_op_payload(op) -> dict[str, Any]:
+    """One composite operator (recursively) as a JSON-safe dict."""
+    from repro.lang.composite import AsOp, BackOp, FilterNode, RepeatOp, UnionOp
+    from repro.lang.plan import Step
+
+    if isinstance(op, Step):
+        return {
+            "op": "step",
+            "labels": list(op.labels),
+            "edge_filters": _filters_payload(op.edge_filters),
+            "vertex_filters": _filters_payload(op.vertex_filters),
+        }
+    if isinstance(op, FilterNode):
+        return {"op": "filter", "filters": _filters_payload(op.filters)}
+    if isinstance(op, RepeatOp):
+        doc: dict[str, Any] = {
+            "op": "repeat",
+            "body": [_composite_op_payload(o) for o in op.body],
+        }
+        if op.times is not None:
+            doc["times"] = op.times
+        else:
+            doc["until"] = _filters_payload(FilterSet((op.until,)))[0]
+            doc["max_depth"] = op.max_depth
+        return doc
+    if isinstance(op, UnionOp):
+        return {
+            "op": "union",
+            "branches": [
+                [_composite_op_payload(o) for o in branch]
+                for branch in op.branches
+            ],
+        }
+    if isinstance(op, AsOp):
+        return {"op": "as", "name": op.name}
+    if isinstance(op, BackOp):
+        return {"op": "back", "name": op.name}
+    raise TypeError(f"unknown composite op {type(op).__name__}")  # pragma: no cover
+
+
+def explain_composite(cplan, planner=None) -> dict[str, Any]:
+    """EXPLAIN for a composite (repeat/union/back/aggregate) plan.
+
+    Renders the operator tree and, when a ``cost``-mode planner with a graph
+    summary is supplied, the per-operator cost estimates from
+    :func:`~repro.lang.optimizer.estimate_composite_plan`. Rewrite boundaries
+    are structural: the orchestrator plans every child chain it dispatches
+    individually, so no rewrite ever crosses a repeat/union scope.
+    """
+    doc: dict[str, Any] = {
+        "query": cplan.describe(),
+        "type": "composite",
+        "source": {
+            "ids": list(cplan.source_ids or ()),
+            "filters": _filters_payload(cplan.source_filters),
+        },
+        "ops": [_composite_op_payload(op) for op in cplan.ops],
+        "final_level": cplan.final_level,
+        "aggregate": _aggregate_payload(cplan.aggregate),
+        "planner": planner.mode if planner is not None else "off",
+        "estimate": None,
+    }
+    if (
+        planner is not None
+        and planner.mode == "cost"
+        and planner.summary is not None
+    ):
+        from repro.lang.optimizer import estimate_composite_plan
+
+        doc["estimate"] = estimate_composite_plan(
+            cplan, planner.summary, planner.params
+        ).payload()
+    return doc
 
 
 def explain_planned(planned: PlannedQuery) -> dict[str, Any]:

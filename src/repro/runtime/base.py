@@ -85,6 +85,18 @@ class ServerContext(ABC):
     def cpu(self, dt: float) -> Any:
         """Waitable modelling per-request processing overhead."""
 
+    # -- events -------------------------------------------------------------------
+
+    @abstractmethod
+    def wait(self, event: Any) -> Any:
+        """Waitable resolving to a completion event's value.
+
+        ``event`` is a one-shot event from :meth:`Runtime.completion_event`.
+        If the event fails, the exception it failed with is raised *inside*
+        the waiting generator (both runtimes throw it into the process), so
+        orchestrating actors can catch child-traversal failures.
+        """
+
     # -- messaging ---------------------------------------------------------------
 
     @abstractmethod

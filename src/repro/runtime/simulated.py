@@ -58,6 +58,13 @@ class SimServerContext(ServerContext):
     def queue_len(self, q) -> int:
         return len(q)
 
+    # -- events --------------------------------------------------------------
+
+    def wait(self, event):
+        # Sim events are themselves waitables: yielding one suspends the
+        # process until it triggers (or throws its failure exception in).
+        return event
+
     # -- I/O ---------------------------------------------------------------------
 
     def disk(self, cost: IOCost, level: Optional[int] = None, accesses: int = 1):

@@ -138,6 +138,9 @@ class ThreadServerContext(ServerContext):
     def queue_len(self, q: _ThreadQueue) -> int:
         return len(q)
 
+    def wait(self, event: ThreadEvent) -> _Op:
+        return _Op("wait", event)
+
     def disk(self, cost: IOCost, level: Optional[int] = None, accesses: int = 1) -> _Op:
         return _Op("disk", (self.server_id, cost, level, accesses))
 
@@ -220,13 +223,25 @@ class ThreadRuntime(Runtime):
     def _trampoline(self, server_id: ServerId, gen) -> None:
         lock = self._locks[server_id]
         value: Any = None
+        exc: Optional[BaseException] = None
         while not self._shutdown.is_set():
             with lock:
                 try:
-                    op = gen.send(value)
+                    if exc is not None:
+                        pending, exc = exc, None
+                        op = gen.throw(pending)
+                    else:
+                        op = gen.send(value)
                 except StopIteration:
                     return
-            value = self._perform(op)
+            value = None
+            try:
+                value = self._perform(op)
+            except Exception as err:
+                # Mirror the simulator: a failed waitable (e.g. a child
+                # traversal's completion event) is thrown into the process.
+                exc = err
+                continue
             if value is _POISON:
                 return
 
@@ -238,6 +253,11 @@ class ThreadRuntime(Runtime):
             return None
         if op.kind == "get":
             return op.payload.get_blocking()
+        if op.kind == "wait":
+            # Bounded like run_until_complete's default so a lost child can
+            # never hang the orchestrator thread; the timeout error is thrown
+            # into the waiting generator by the trampoline.
+            return op.payload.wait(60.0)
         if op.kind == "disk":
             server_id, cost, level, accesses = op.payload
             service = self.disk_model.time(cost)

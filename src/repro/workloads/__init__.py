@@ -12,8 +12,10 @@ from repro.workloads.metadata_graph import (
 )
 from repro.workloads.properties import blob_props, sized_props
 from repro.workloads.queries import (
+    agent_exploration,
     audit_scan_query,
     data_audit_query,
+    k_hop_lineage,
     provenance_query,
     qos_mixed_workload,
     rmat_kstep_query,
@@ -37,8 +39,10 @@ __all__ = [
     "paper_scaled_config",
     "blob_props",
     "sized_props",
+    "agent_exploration",
     "audit_scan_query",
     "data_audit_query",
+    "k_hop_lineage",
     "provenance_query",
     "qos_mixed_workload",
     "rmat_kstep_query",

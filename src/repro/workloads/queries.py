@@ -92,6 +92,39 @@ def audit_scan_query(
     )
 
 
+def k_hop_lineage(file: int, hops: int = 3) -> GTravel:
+    """k-hop data lineage via the ``repeat`` operator: from one file, follow
+    *derived-from* chains — ``readBy`` to the consuming execution, ``write``
+    to its outputs — exactly ``hops`` times. ``hops=0`` is the identity
+    (the file itself); the fixed bound makes the traversal depth explicit
+    instead of baking ``2 * hops`` ``e()`` calls into the chain."""
+    return GTravel.v(file).repeat(GTravel.s().e("readBy").e("write")).times(hops)
+
+
+def agent_exploration(user: int, kind: str = "text") -> GTravel:
+    """Agent-style metadata exploration: from a user, find the jobs whose
+    executions read files of ``kind`` (``as_``/``back`` keeps the *jobs*,
+    not the files), then survey everything those jobs' executions touched —
+    inputs and outputs merged server-side by ``union`` — and reduce to a
+    per-type census at the coordinator.
+
+    One query exercising all four composite operator families; the bench
+    ``lang_ops`` experiment uses it as the mixed-operator cell.
+    """
+    return (
+        GTravel.v(user)
+        .e("run")
+        .as_("jobs")
+        .e("hasExecutions")
+        .e("read")
+        .va("kind", EQ, kind)
+        .back("jobs")
+        .e("hasExecutions")
+        .union(GTravel.s().e("read"), GTravel.s().e("write"))
+        .group_count()
+    )
+
+
 def rmat_kstep_query(source: int, steps: int, label: str = "link") -> GTravel:
     """The synthetic-workload k-step traversal (§VII-B): follow ``label``
     edges for ``steps`` hops from one randomly selected vertex."""

@@ -217,3 +217,72 @@ def test_metric_counters_match_stats_board():
             assert metrics.counter_total("engine.real_visits") == (
                 out.stats.real_io_visits
             ), f"seed {seed}"
+
+
+# -- composite operators (repeat / union / back / aggregate) -------------------
+#
+# Hypothesis-generated composite chains; every engine must match the oracle's
+# vertex sets AND aggregates (same_result). Depth-capped `until` chains are
+# excluded here — the typed-error path is covered by test_lang_operators.py.
+
+
+@st.composite
+def sub_chains(draw, max_steps=2):
+    from repro.lang import GTravel
+
+    sub = GTravel.s()
+    for _ in range(draw(st.integers(1, max_steps))):
+        sub = sub.e(draw(st.sampled_from(LABELS)))
+        if draw(st.booleans()):
+            sub = sub.va("color", EQ, draw(st.sampled_from(COLORS)))
+    return sub
+
+
+@st.composite
+def composite_cases(draw):
+    from repro.lang import GTravel
+
+    graph = draw(graphs())
+    n = graph.num_vertices
+    sources = sorted(draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=3)))
+    q = GTravel.v(*sources)
+    if draw(st.booleans()):
+        q = q.e(draw(st.sampled_from(LABELS)))
+    for op_index in range(draw(st.integers(1, 2))):
+        kind = draw(st.sampled_from(("repeat", "union", "back")))
+        if kind == "repeat":
+            q = q.repeat(draw(sub_chains())).times(draw(st.integers(0, 3)))
+        elif kind == "union":
+            branches = draw(st.lists(sub_chains(), min_size=1, max_size=3))
+            q = q.union(*branches)
+        else:
+            # labels must be unique per binding: as_() rejects rebinding
+            name = f"b{op_index}"
+            q = q.as_(name).e(draw(st.sampled_from(LABELS))).back(name)
+    agg = draw(st.sampled_from((None, "count", "label", "color")))
+    if agg == "count":
+        q = q.count()
+    elif agg is not None:
+        q = q.group_count(by=None if agg == "label" else agg)
+    nservers = draw(st.integers(min_value=1, max_value=4))
+    return graph, q.compile(), nservers
+
+
+@given(composite_cases())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_composite_operators_match_oracle_on_random_cases(case):
+    graph, plan, nservers = case
+    ref = ReferenceEngine(graph).run(plan)
+    for kind in (EngineKind.SYNC, EngineKind.ASYNC, EngineKind.GRAPHTREK):
+        cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=kind))
+        outcome = cluster.traverse(plan)
+        assert outcome.result.same_result(ref), (
+            f"{kind.value}: {outcome.result.returned} "
+            f"agg={outcome.result.aggregate} != {ref.returned} "
+            f"agg={ref.aggregate} for {plan.describe()} on {nservers} servers"
+        )
+        assert not cluster.coordinator._composites

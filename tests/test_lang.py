@@ -207,8 +207,10 @@ def test_describe_all_vertices():
 
 
 def test_union_results():
-    assert union_results({1, 2}, [2, 3], (4,)) == {1, 2, 3, 4}
-    assert union_results() == set()
+    # canonical sorted tuple: deterministic regardless of input ordering
+    assert union_results({1, 2}, [2, 3], (4,)) == (1, 2, 3, 4)
+    assert union_results([3, 1], {2}) == union_results({1, 2}, (3,))
+    assert union_results() == ()
 
 
 def test_filterop_enum_values():

@@ -174,3 +174,60 @@ def test_cache_size_invariants(inserts, capacity):
     # every cached triple is findable; lookups never crash
     for travel, level, vid in inserts:
         cache.lookup(travel, level, vid)
+
+
+# -- traversal-operator reductions --------------------------------------------
+
+from repro.lang.gtravel import union_results
+from repro.lang.plan import AggregateSpec, canonical_groups, reduce_aggregate
+
+
+@given(st.lists(st.lists(st.integers(0, 40), max_size=8), max_size=5))
+def test_union_results_is_canonical_and_order_insensitive(parts):
+    out = union_results(*parts)
+    flat = set().union(*map(set, parts)) if parts else set()
+    assert out == tuple(sorted(flat))
+    assert union_results(*reversed(parts)) == out
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 30),
+        st.one_of(st.none(), st.integers(0, 3), st.text(max_size=4)),
+        max_size=20,
+    )
+)
+def test_reduce_aggregate_group_count_is_exact_and_idempotent(keys):
+    spec = AggregateSpec(kind="group_count", by="color")
+    final = frozenset(keys)
+    agg = reduce_aggregate(spec, final, keys)
+    assert agg.total == len(final)
+    assert sum(n for _, n in agg.groups) == len(final)
+    assert reduce_aggregate(spec, final, keys) == agg  # idempotent
+    # groups are already in canonical order
+    assert agg.groups == canonical_groups(dict(agg.groups).items())
+
+
+@given(st.sets(st.integers(0, 50), max_size=25))
+def test_reduce_aggregate_count_is_set_cardinality(final):
+    agg = reduce_aggregate(AggregateSpec(kind="count"), frozenset(final), {})
+    assert agg.total == len(final)
+    assert agg.groups == ()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(0, 5), st.text(max_size=3)),
+            st.integers(1, 9),
+        ),
+        max_size=10,
+        unique_by=lambda kv: str(kv[0]) + repr(kv[0] is None),
+    )
+)
+def test_canonical_groups_is_permutation_invariant(items):
+    assert canonical_groups(items) == canonical_groups(list(reversed(items)))
+    # None buckets sort last
+    ordered = canonical_groups(items)
+    if any(k is None for k, _ in ordered):
+        assert ordered[-1][0] is None
