@@ -46,6 +46,7 @@ EXPERIMENTS = {
     "ablation_partition": lambda env: exp.exp_ablation_partitioning(env),
     "ablation_layout": lambda env: exp.exp_ablation_layout(),
     "chaos": lambda env: exp.exp_chaos(env),
+    "coordinator_recovery": lambda env: exp.exp_coordinator_recovery(env),
     "scheduler": lambda env: exp.exp_scheduler(env),
     "lang_ops": lambda env: exp.exp_lang_ops(env),
 }

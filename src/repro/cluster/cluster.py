@@ -20,6 +20,8 @@ from repro.engine.registry import TravelRegistry
 from repro.engine.statistics import StatsBoard
 from repro.engine.sync_engine import SyncServerEngine
 from repro.cluster.coordinator import Coordinator, CoordinatorConfig
+from repro.cluster.journal import JournalStorage, TraversalJournal
+from repro.cluster.recovery import RecoverySupervisor
 from repro.cluster.server import BackendServer
 from repro.errors import SimulationError
 from repro.faults.plan import FaultPlan
@@ -86,6 +88,16 @@ class ClusterConfig:
     #: bounds, no quotas — submissions launch immediately, as before. The
     #: launch *policy* is selected by ``EngineOptions.scheduler``.
     scheduler_config: Optional[SchedulerConfig] = None
+    #: durable traversal journal + crash recovery for the coordinator
+    #: (DESIGN.md §13). Off by default: without it a coordinator-hosting
+    #: server crash keeps the legacy semantics (the coordinator actor's
+    #: state survives; only the co-located engine loses memory).
+    journal: bool = False
+    #: where the journal bytes live; None = in-memory storage that models a
+    #: GPFS-backed journal file (survives the simulated crash)
+    journal_storage: Optional[JournalStorage] = None
+    #: journal records between compacting checkpoints
+    journal_checkpoint_interval: int = 256
 
     def engine_options(self) -> EngineOptions:
         if isinstance(self.engine, EngineOptions):
@@ -106,6 +118,7 @@ class Cluster:
         registry: TravelRegistry,
         board: StatsBoard,
         scheduler: TraversalScheduler,
+        supervisor: Optional[RecoverySupervisor] = None,
     ):
         self.config = config
         self.runtime = runtime
@@ -115,6 +128,12 @@ class Cluster:
         self.registry = registry
         self.board = board
         self.scheduler = scheduler
+        self.supervisor = supervisor
+
+    @property
+    def journal(self):
+        """The coordinator's traversal journal, or None when disabled."""
+        return self.coordinator.journal
 
     # -- construction --------------------------------------------------------
 
@@ -201,6 +220,12 @@ class Cluster:
             if channel is not None:
                 channel.forget_travel(travel_id)
 
+        journal: Optional[TraversalJournal] = None
+        if config.journal:
+            journal = TraversalJournal(
+                config.journal_storage,
+                checkpoint_interval=config.journal_checkpoint_interval,
+            )
         coordinator = Coordinator(
             ctx=runtime.context(config.coordinator_server),
             runtime=runtime,
@@ -211,6 +236,7 @@ class Cluster:
             config=config.coordinator_config,
             on_complete=_forget,
             planner=planner,
+            journal=journal,
         )
         runtime.register_coordinator(coordinator.on_message)
 
@@ -269,6 +295,15 @@ class Cluster:
 
             channel.on_delivery_failure = _suspect
 
+        # Crash recovery for the control plane: with a journal configured,
+        # a coordinator-host crash wipes coordinator+scheduler state and the
+        # supervisor rebuilds both from the journal on recovery.
+        supervisor: Optional[RecoverySupervisor] = None
+        if journal is not None:
+            supervisor = RecoverySupervisor(
+                runtime, coordinator, scheduler, journal, channel=channel
+            )
+
         def _collect_storage(metrics) -> None:
             for server in servers:
                 for name, value in server.storage_metrics().items():
@@ -278,13 +313,18 @@ class Cluster:
             metrics.set_gauge("runtime.messages_dropped", runtime.messages_dropped)
             metrics.set_gauge("sched.queue_depth", scheduler.queue_depth)
             metrics.set_gauge("sched.inflight", scheduler.inflight_count)
+            if journal is not None:
+                metrics.set_gauge("journal.size_bytes", journal.size_bytes())
+                metrics.set_gauge("journal.records", journal.records_appended)
+                metrics.set_gauge("journal.bytes_appended", journal.bytes_appended)
+                metrics.set_gauge("journal.checkpoints", journal.checkpoints_written)
 
         obs.metrics.add_collector(_collect_storage)
         if config.interference is not None and hasattr(config.interference, "bind_metrics"):
             config.interference.bind_metrics(obs.metrics)
         return cls(
             config, runtime, partitioner, servers, coordinator, registry, board,
-            scheduler,
+            scheduler, supervisor,
         )
 
     # -- client API (paper §IV-A: submit the whole GTravel instance) ------------
@@ -313,12 +353,24 @@ class Cluster:
         pending queue is full.
         """
         with self.runtime.exclusive(self.config.coordinator_server):
-            return self.scheduler.submit(
+            travel_id, event = self.scheduler.submit(
                 self._compile(query),
                 tenant=tenant,
                 priority=priority,
                 deadline=deadline,
             )
+            if self.supervisor is not None:
+                entry = self.scheduler.entry_for(travel_id)
+                if entry is not None:  # still live (not already terminal)
+                    self.supervisor.note_submission(
+                        travel_id,
+                        event,
+                        tenant=entry.tenant,
+                        priority=entry.priority,
+                        deadline_abs=entry.deadline,
+                        admit_time=entry.admit_time,
+                    )
+            return travel_id, event
 
     def cancel(self, travel_id: TravelId, reason: str = "cancelled") -> bool:
         """Cancel a queued or running traversal; True if anything happened."""

@@ -12,6 +12,16 @@ not terminate within a timeout marks the traversal failed, and "this failure
 will simply cause the traversal to be restarted" — up to ``max_restarts``
 attempts, after which the client's event fails with
 :class:`~repro.errors.TraversalFailed`.
+
+The coordinator itself is crash-recoverable (DESIGN.md §13): with a
+:class:`~repro.cluster.journal.TraversalJournal` attached, every state
+transition is journaled *before* its side effects, ``on_host_crash`` models
+losing all in-memory travel state, and ``begin_epoch`` /
+``resume_travel`` / ``resume_composite`` rebuild the coordinator from a
+journal replay under a new epoch. Every outbound message is stamped with
+the current epoch and :meth:`on_message` fences reports carrying an older
+one, so a recovered coordinator can never be confused by its dead
+predecessor's in-flight traffic.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from repro.engine.base import (
     TraversalResult,
     TraversalStats,
 )
+from repro.cluster.journal import TraversalJournal
 from repro.engine.registry import TravelEntry, TravelRegistry
 from repro.engine.statistics import StatsBoard
 from repro.engine.tracing import ExecTracker, SyncBarrierState
@@ -99,6 +110,12 @@ class ActiveTravel:
     stream_done_time: float = 0.0
     #: the planner's audit trail; None when the traversal runs as written
     planned: Optional[PlannedQuery] = None
+    #: parent composite travel id when this is an orchestrated child; its
+    #: client_event is then coordinator-internal, not client-facing
+    child_of: Optional[TravelId] = None
+    #: journal progress-delta batching (flushed every ~32 fresh reports)
+    pend_statuses: int = 0
+    pend_results: int = 0
 
     @property
     def plan(self) -> TraversalPlan:
@@ -141,6 +158,7 @@ class Coordinator:
         on_complete: Optional[Callable[[TravelId], None]] = None,
         planner: Optional[QueryPlanner] = None,
         on_terminal: Optional[Callable[[TravelId, str], None]] = None,
+        journal: Optional[TraversalJournal] = None,
     ):
         self.ctx = ctx
         self.runtime = runtime
@@ -157,6 +175,11 @@ class Coordinator:
         #: scheduler hook: called with (travel_id, "ok"|"failed"|"cancelled")
         #: whenever a launched traversal reaches a terminal state
         self.on_terminal = on_terminal
+        #: durable WAL of state transitions; None runs journal-free (legacy)
+        self.journal = journal
+        #: coordinator incarnation; bumped by ``begin_epoch`` on recovery and
+        #: stamped on every outbound message for fencing
+        self.epoch = 0
         self._active: dict[TravelId, ActiveTravel] = {}
         self._composites: dict[TravelId, CompositeTravel] = {}
         self._travel_ids = IdAllocator(1)
@@ -180,6 +203,7 @@ class Coordinator:
         travel_id: Optional[TravelId] = None,
         client_event: Optional[object] = None,
         submit_time: Optional[float] = None,
+        _child_of: Optional[TravelId] = None,
     ):
         """Register and launch a traversal; returns (travel_id, event).
 
@@ -211,6 +235,7 @@ class Coordinator:
                 for rewrite in planned.rewrites:
                     self.metrics.count(f"planner.rewrite.{rewrite.name}")
         entry = self.registry.register(travel_id, executed)
+        entry.epoch = self.epoch
         event = (
             client_event
             if client_event is not None
@@ -225,7 +250,22 @@ class Coordinator:
             client_event=event,
             tracker=tracker,
             planned=planned,
+            child_of=_child_of,
         )
+        if self.journal is not None:
+            # WAL discipline: the dispatch is durable before any of its
+            # side effects (messages, tracker registration) can run.
+            self.journal.append(
+                "dispatch",
+                tid=travel_id,
+                plan=executed,
+                attempt=entry.attempt,
+                epoch=self.epoch,
+                composite=False,
+                child_of=_child_of,
+                submit_time=at.submit_time,
+                planned=planned,
+            )
         self._active[travel_id] = at
         self.metrics.count("coord.submitted")
         self.spans.travel_span(
@@ -367,6 +407,18 @@ class Coordinator:
             submit_time=self.ctx.now() if submit_time is None else submit_time,
             stats=TraversalStats(engine=self.engine_kind),
         )
+        if self.journal is not None:
+            self.journal.append(
+                "dispatch",
+                tid=travel_id,
+                plan=plan,
+                attempt=0,
+                epoch=self.epoch,
+                composite=True,
+                child_of=None,
+                submit_time=ct.submit_time,
+                planned=None,
+            )
         self._composites[travel_id] = ct
         self.metrics.count("coord.submitted")
         self.metrics.count("coord.composite_submitted")
@@ -402,7 +454,11 @@ class Coordinator:
             try:
                 child_plan = next(prog)
                 while True:
-                    child_id, child_event = self.submit(child_plan)
+                    if ct.done:
+                        return  # cancelled/crashed before the next child launch
+                    child_id, child_event = self.submit(
+                        child_plan, _child_of=ct.travel_id
+                    )
                     ct.current_child = child_id
                     ct.children += 1
                     outcome = yield self.ctx.wait(child_event)
@@ -448,6 +504,7 @@ class Coordinator:
 
     def _finish_composite(self, ct: CompositeTravel, frontier, aggregate) -> None:
         ct.done = True
+        self._journal_terminal(ct.travel_id, "ok")
         del self._composites[ct.travel_id]
         stats = ct.stats
         network = self.runtime.network  # type: ignore[attr-defined]
@@ -498,6 +555,7 @@ class Coordinator:
         self._composites.pop(ct.travel_id, None)
         cancelled = isinstance(exc, TraversalCancelled)
         status = "cancelled" if cancelled else "failed"
+        self._journal_terminal(ct.travel_id, status)
         self.metrics.count("coord.cancelled" if cancelled else "coord.failed")
         self.spans.finish_travel(ct.travel_id, status=status)
         self.trace.record(
@@ -517,6 +575,21 @@ class Coordinator:
     # -- message handling --------------------------------------------------------
 
     def on_message(self, msg: Message) -> None:
+        msg_epoch = getattr(msg, "epoch", 0)
+        if msg_epoch != self.epoch:
+            # Epoch fence: a report stamped by (or derived from) a previous
+            # coordinator incarnation. Its travel was either restarted under
+            # a new attempt or cleaned up during recovery — dropping the
+            # message is always safe and never loses information.
+            self.metrics.count("coord.fenced")
+            self.trace.record(
+                "coord.fenced",
+                travel_id=msg.travel_id,
+                server_id=self.ctx.server_id,
+                msg_epoch=msg_epoch,
+                epoch=self.epoch,
+            )
+            return
         at = self._active.get(msg.travel_id)
         if at is None or at.done:
             return
@@ -542,6 +615,7 @@ class Coordinator:
                 # Fresh terminations only: duplicate reports from replayed
                 # executions must not inflate the executions statistic.
                 self.board.execution(msg.travel_id)
+                self._journal_progress(at, statuses=1)
             else:
                 self.metrics.count("coord.duplicate_status")
             self._check_complete(at)
@@ -565,9 +639,11 @@ class Coordinator:
                 barrier.last_activity = self.ctx.now()
             else:
                 at.tracker.on_result(self.ctx.now())  # type: ignore[union-attr]
+            self._journal_progress(at, results=1)
             self._check_complete(at)
         elif isinstance(msg, SyncStepDone):
             self.metrics.count("coord.step_done", server=msg.server)
+            self._journal_progress(at, statuses=1)
             self._on_step_done(at, msg)
         else:  # pragma: no cover - protocol misuse guard
             raise TypeError(f"coordinator got unexpected {type(msg).__name__}")
@@ -672,6 +748,7 @@ class Coordinator:
         ):
             return  # the streamer finalizes once the pipeline drains
         at.done = True
+        self._journal_terminal(at.travel_id, "ok")
         stats = self.board.pop(at.travel_id)
         network = self.runtime.network  # type: ignore[attr-defined]
         submit_hop = network.client_latency(512)  # GTravel instance upload
@@ -758,6 +835,7 @@ class Coordinator:
         if at is None or at.done:
             return False
         at.done = True
+        self._journal_terminal(travel_id, "cancelled")
         del self._active[travel_id]
         self.registry.unregister(travel_id)
         self.board.pop(travel_id)
@@ -832,6 +910,7 @@ class Coordinator:
                 continue
             if restarts >= self.config.max_restarts:
                 at.done = True
+                self._journal_terminal(at.travel_id, "failed")
                 del self._active[at.travel_id]
                 self.registry.unregister(at.travel_id)
                 self.metrics.count("coord.failed")
@@ -951,6 +1030,18 @@ class Coordinator:
         else:
             at.tracker = ExecTracker(attempt=attempt)
         at.tracker.last_activity = self.ctx.now()
+        if self.journal is not None:
+            self.journal.append(
+                "dispatch",
+                tid=at.travel_id,
+                plan=at.plan,
+                attempt=attempt,
+                epoch=self.epoch,
+                composite=False,
+                child_of=at.child_of,
+                submit_time=at.submit_time,
+                planned=at.planned,
+            )
         self._dispatch(at)
 
     # -- progress (paper §IV-C) -----------------------------------------------------------
@@ -971,9 +1062,208 @@ class Coordinator:
             return {barrier.level: self.ctx.nservers - len(barrier.done_servers)}
         return at.tracker.progress()  # type: ignore[union-attr]
 
+    # -- coordinator crash recovery (DESIGN.md §13) -------------------------------------
+
+    def on_host_crash(self) -> None:
+        """The coordinator-hosting server crashed: every piece of in-memory
+        travel state is lost. Composite orchestrators parked on a child's
+        internal completion event are woken by failing that event (they
+        observe ``done`` and exit silently — a real crash would simply have
+        killed the process); watchdogs, streamers, and barrier releases exit
+        through their ``done`` flags. Client-facing events are *not* failed:
+        they are owned by the recovery supervisor, which either resumes the
+        travel under the next epoch or fails it explicitly.
+        """
+        self.metrics.count("coord.crash")
+        self.trace.record(
+            "coord.crash",
+            server_id=self.ctx.server_id,
+            epoch=self.epoch,
+            active=len(self._active),
+            composites=len(self._composites),
+        )
+        for ct in list(self._composites.values()):
+            ct.done = True
+        for at in list(self._active.values()):
+            was_done = at.done
+            at.done = True
+            if not was_done and at.child_of is not None:
+                # internal child event: wake the parked orchestrator
+                at.client_event.fail(
+                    TraversalFailed(at.travel_id, "coordinator crashed")
+                )
+        self._active.clear()
+        self._composites.clear()
+
+    def begin_epoch(
+        self, epoch: int, *, next_travel_id: Optional[int] = None
+    ) -> None:
+        """Start a new coordinator incarnation during recovery.
+
+        Re-seeds the travel-id allocator past the journal's high-water mark
+        (surviving registry entries make reuse an error) and moves the
+        exec-id allocator into an epoch-disjoint range so replayed trace
+        DAGs never alias executions across incarnations.
+        """
+        self.epoch = epoch
+        if next_travel_id is not None:
+            self._travel_ids = IdAllocator(max(next_travel_id, 1))
+        self._next_exec = IdAllocator(((self.ctx.nservers + 1) << 32) + (epoch << 40))
+        self.metrics.count("coord.recover")
+        self.trace.record(
+            "coord.recover", server_id=self.ctx.server_id, epoch=epoch
+        )
+
+    def resume_travel(
+        self,
+        travel_id: TravelId,
+        *,
+        client_event: object,
+        submit_time: float,
+        planned: Optional[PlannedQuery] = None,
+    ) -> bool:
+        """Restart one in-doubt linear traversal after a coordinator crash.
+
+        The executed plan lives in the surviving cluster-shared registry
+        (the paper ships the plan inside every dispatch); the journal's
+        dispatch record supplies QoS context and the planner audit trail so
+        level remapping of reversed plans survives recovery. The restart
+        reuses the PR-2 path: bump the attempt (quiescing every pre-crash
+        execution), reset the stats board, re-dispatch, new watchdog.
+        Returns False when the registry no longer knows the travel.
+        """
+        entry = self.registry.get(travel_id)
+        if entry is None:
+            return False
+        attempt = self.registry.bump_attempt(travel_id)
+        entry.epoch = self.epoch
+        tracker: Union[ExecTracker, SyncBarrierState]
+        tracker = (
+            SyncBarrierState(attempt=attempt)
+            if self.is_sync
+            else ExecTracker(attempt=attempt)
+        )
+        at = ActiveTravel(
+            travel_id=travel_id,
+            entry=entry,
+            submit_time=submit_time,
+            client_event=client_event,
+            tracker=tracker,
+            planned=planned,
+        )
+        self._active[travel_id] = at
+        self.board.reset(travel_id)
+        self.board.stats(travel_id).restarts = attempt
+        self.metrics.count("coord.resumed")
+        self.trace.record(
+            "coord.replay",
+            travel_id=travel_id,
+            server_id=self.ctx.server_id,
+            attempt=attempt,
+            epoch=self.epoch,
+        )
+        if self.journal is not None:
+            self.journal.append(
+                "dispatch",
+                tid=travel_id,
+                plan=entry.plan,
+                attempt=attempt,
+                epoch=self.epoch,
+                composite=False,
+                child_of=None,
+                submit_time=submit_time,
+                planned=planned,
+            )
+        at.tracker.last_activity = self.ctx.now()
+        self._dispatch(at)
+        self.ctx.spawn(self._watchdog(at), name=f"watchdog-{travel_id}")
+        return True
+
+    def resume_composite(
+        self,
+        travel_id: TravelId,
+        plan: CompositePlan,
+        *,
+        client_event: object,
+        submit_time: float,
+    ) -> None:
+        """Respawn a composite's orchestrator after a coordinator crash.
+
+        The program restarts from its first child (children are cheap
+        linear traversals and the program is deterministic, so the result
+        is element-identical); pre-crash children were cleaned up by the
+        recovery supervisor and their in-flight traffic is epoch-fenced.
+        """
+        ct = CompositeTravel(
+            travel_id=travel_id,
+            plan=plan,
+            client_event=client_event,
+            submit_time=submit_time,
+            stats=TraversalStats(engine=self.engine_kind),
+        )
+        ct.stats.restarts += 1
+        self._composites[travel_id] = ct
+        self.metrics.count("coord.resumed")
+        self.trace.record(
+            "coord.replay",
+            travel_id=travel_id,
+            server_id=self.ctx.server_id,
+            epoch=self.epoch,
+            composite=True,
+        )
+        if self.journal is not None:
+            self.journal.append(
+                "dispatch",
+                tid=travel_id,
+                plan=plan,
+                attempt=0,
+                epoch=self.epoch,
+                composite=True,
+                child_of=None,
+                submit_time=submit_time,
+                planned=None,
+            )
+        self.ctx.spawn(self._orchestrate(ct), name=f"composite-{travel_id}")
+
+    def cleanup_travel(self, travel_id: TravelId) -> None:
+        """Recovery-time disposal of a travel that will not be resumed
+        (e.g. a pre-crash composite child whose parent restarts from
+        scratch): drop registry/engine/channel/board state so nothing
+        leaks. Stale in-flight executions quiesce through the registry
+        check as usual."""
+        self.registry.unregister(travel_id)
+        self.board.pop(travel_id)
+        if self.on_complete is not None:
+            self.on_complete(travel_id)
+
     # -- plumbing -----------------------------------------------------------------------------
 
+    def _journal_terminal(self, travel_id: TravelId, status: str) -> None:
+        if self.journal is not None:
+            self.journal.append("terminal", tid=travel_id, status=status)
+
+    def _journal_progress(
+        self, at: ActiveTravel, *, statuses: int = 0, results: int = 0
+    ) -> None:
+        """Batch per-travel progress deltas into one journal record per ~32
+        fresh reports — the journal stays an audit of forward progress
+        without paying a durable append per status message."""
+        if self.journal is None:
+            return
+        at.pend_statuses += statuses
+        at.pend_results += results
+        if at.pend_statuses + at.pend_results >= 32:
+            self.journal.append(
+                "progress",
+                tid=at.travel_id,
+                statuses=at.pend_statuses,
+                results=at.pend_results,
+            )
+            at.pend_statuses = 0
+            at.pend_results = 0
+
     def _send(self, travel_id: TravelId, dst: ServerId, msg: Message) -> None:
+        msg.epoch = self.epoch
         self.board.message(travel_id, msg.nbytes)
         self.ctx.send(dst, msg)
 

@@ -1,0 +1,268 @@
+"""Durable traversal journal: the coordinator's write-ahead log.
+
+The paper keeps backend stores crash-safe by running RocksDB on GPFS "for
+fault tolerance against server failures" (§VII) but leaves the coordinator's
+travel bookkeeping in memory. This module extends the same durability story
+to the control plane: every coordinator state transition — scheduler
+admission, launch, dispatch (with the executed plan), batched progress
+deltas, terminal outcomes, epoch bumps — is appended to a journal *before*
+the transition's side effects run, so a crashed coordinator can rebuild
+what was queued, what was running, and what already finished.
+
+Records use the framed format shared with checkpoints
+(:func:`repro.storage.persist.pack_record`): ``[u32 len][u32 crc32]``
+followed by a pickled dict with a ``kind`` discriminator. A torn or
+bit-rotted record raises the typed
+:class:`~repro.errors.CorruptJournal` on replay.
+
+The journal compacts itself: every ``checkpoint_interval`` appended records
+it rewrites the backing storage as a single ``checkpoint`` record carrying
+the reduced :class:`JournalState`, bounding replay work and journal size by
+the number of *live* travels rather than the traversal history.
+
+Storage backends model where the bytes live:
+
+* :class:`MemoryJournalStorage` — bytes that survive the coordinator
+  process (the simulated stand-in for a GPFS-backed journal file);
+* :class:`FileJournalStorage` — a real file, for tests and offline
+  inspection.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Protocol, Union
+
+from repro.errors import CorruptJournal
+from repro.storage.persist import iter_records, pack_record
+
+
+class JournalStorage(Protocol):
+    """Durable byte sink for the journal. Appends must be atomic at record
+    granularity (the simulated crash model guarantees this; a real
+    implementation would fsync)."""
+
+    def append(self, data: bytes) -> None: ...
+
+    def read(self) -> bytes: ...
+
+    def reset(self, data: bytes) -> None: ...
+
+
+class MemoryJournalStorage:
+    """Journal bytes held in memory but *outside* the coordinator's crash
+    blast radius — the in-process model of a shared-filesystem journal."""
+
+    def __init__(self, initial: bytes = b""):
+        self._buf = bytearray(initial)
+
+    def append(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def read(self) -> bytes:
+        return bytes(self._buf)
+
+    def reset(self, data: bytes) -> None:
+        self._buf = bytearray(data)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class FileJournalStorage:
+    """Journal bytes in a real file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            self.path.write_bytes(b"")
+
+    def append(self, data: bytes) -> None:
+        with self.path.open("ab") as fh:
+            fh.write(data)
+
+    def read(self) -> bytes:
+        return self.path.read_bytes()
+
+    def reset(self, data: bytes) -> None:
+        self.path.write_bytes(data)
+
+    def __len__(self) -> int:
+        return self.path.stat().st_size
+
+
+@dataclass
+class JournalState:
+    """The reduced state a journal replay yields.
+
+    ``queued`` maps travel id to its ``admit`` record (admitted by the
+    scheduler, never launched). ``running`` maps travel id to its
+    ``dispatch`` record (launched / directly submitted, no terminal yet) —
+    including composite parents (``composite`` True) and their children
+    (``child_of`` set). ``terminals`` counts finished travels by status.
+    """
+
+    epoch: int = 0
+    next_travel_id: int = 1
+    queued: dict[int, dict] = field(default_factory=dict)
+    running: dict[int, dict] = field(default_factory=dict)
+    terminals: dict[str, int] = field(default_factory=dict)
+
+    def note_travel_id(self, travel_id: int) -> None:
+        if travel_id + 1 > self.next_travel_id:
+            self.next_travel_id = travel_id + 1
+
+    def as_payload(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "next_travel_id": self.next_travel_id,
+            "queued": dict(self.queued),
+            "running": dict(self.running),
+            "terminals": dict(self.terminals),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JournalState":
+        return cls(
+            epoch=payload.get("epoch", 0),
+            next_travel_id=payload.get("next_travel_id", 1),
+            queued=dict(payload.get("queued", {})),
+            running=dict(payload.get("running", {})),
+            terminals=dict(payload.get("terminals", {})),
+        )
+
+
+class TraversalJournal:
+    """Append-only WAL of coordinator state transitions with compacting
+    checkpoints.
+
+    ``append(kind, **fields)`` frames and durably appends one record, then
+    folds it into the journal's live :class:`JournalState` mirror (the same
+    fold :meth:`replay` applies, so the mirror and a cold replay always
+    agree). Record kinds:
+
+    ``admit``     scheduler admission: tid, original plan, tenant,
+                  priority, absolute deadline, admit_time, seq
+    ``launch``    scheduler launched the travel (audit only)
+    ``dispatch``  coordinator accepted a submit: tid, executed plan,
+                  attempt, epoch, composite flag, child_of, submit_time
+    ``progress``  batched exec-tracker deltas for a running travel
+    ``terminal``  travel finished: tid, status (ok/failed/cancelled)
+    ``epoch``     a recovered coordinator started this epoch
+    ``checkpoint`` compaction snapshot (written by the journal itself)
+    """
+
+    def __init__(
+        self,
+        storage: Optional[JournalStorage] = None,
+        *,
+        checkpoint_interval: int = 256,
+    ):
+        self.storage: JournalStorage = (
+            storage if storage is not None else MemoryJournalStorage()
+        )
+        self.checkpoint_interval = checkpoint_interval
+        #: lifetime counters (survive compaction; used by the bench ablation)
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.checkpoints_written = 0
+        self._since_checkpoint = 0
+        self._state = self._replay_bytes(self.storage.read())
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, kind: str, **fields) -> None:
+        record = {"kind": kind, **fields}
+        framed = pack_record(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        self.storage.append(framed)
+        self.records_appended += 1
+        self.bytes_appended += len(framed)
+        self._fold(self._state, record)
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_interval:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the storage as one checkpoint record of the live state."""
+        record = {"kind": "checkpoint", "state": self._state.as_payload()}
+        framed = pack_record(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        self.storage.reset(framed)
+        self.checkpoints_written += 1
+        self._since_checkpoint = 0
+
+    # -- reading ---------------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Rebuild state from the durable bytes (what a recovering
+        coordinator sees). Raises :class:`CorruptJournal` on a damaged
+        record."""
+        self._state = self._replay_bytes(self.storage.read())
+        return self._state
+
+    @property
+    def state(self) -> JournalState:
+        """The live mirror (identical to what :meth:`replay` would return)."""
+        return self._state
+
+    def size_bytes(self) -> int:
+        return len(self.storage.read())
+
+    def _replay_bytes(self, data: bytes) -> JournalState:
+        state = JournalState()
+        for payload in iter_records(data, CorruptJournal):
+            try:
+                record = pickle.loads(payload)
+            except Exception as exc:
+                raise CorruptJournal(f"undecodable journal record: {exc}") from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise CorruptJournal("journal record is not a kind-tagged dict")
+            self._fold(state, record)
+        return state
+
+    # -- the fold --------------------------------------------------------------
+
+    @staticmethod
+    def _fold(state: JournalState, record: dict) -> None:
+        kind = record["kind"]
+        if kind == "checkpoint":
+            restored = JournalState.from_payload(record["state"])
+            state.epoch = restored.epoch
+            state.next_travel_id = restored.next_travel_id
+            state.queued = restored.queued
+            state.running = restored.running
+            state.terminals = restored.terminals
+        elif kind == "admit":
+            tid = record["tid"]
+            state.note_travel_id(tid)
+            state.queued[tid] = record
+        elif kind == "launch":
+            pass  # audit only; the dispatch record that follows moves state
+        elif kind == "dispatch":
+            tid = record["tid"]
+            state.note_travel_id(tid)
+            qos = state.queued.pop(tid, None)
+            entry = dict(record)
+            if qos is not None:
+                entry["qos"] = qos
+            state.running[tid] = entry
+        elif kind == "progress":
+            tid = record["tid"]
+            entry = state.running.get(tid)
+            if entry is not None:
+                prog = entry.setdefault("progress", {})
+                for key in ("statuses", "results"):
+                    if key in record:
+                        prog[key] = prog.get(key, 0) + record[key]
+        elif kind == "terminal":
+            tid = record["tid"]
+            state.queued.pop(tid, None)
+            state.running.pop(tid, None)
+            status = record.get("status", "ok")
+            state.terminals[status] = state.terminals.get(status, 0) + 1
+        elif kind == "epoch":
+            state.epoch = record["epoch"]
+        else:
+            raise CorruptJournal(f"unknown journal record kind {kind!r}")

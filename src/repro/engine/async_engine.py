@@ -84,6 +84,8 @@ class PendingWork:
     all_sources: bool = False
     absorbed: int = 0
     enqueued_at: float = 0.0
+    #: coordinator epoch echoed from the request that opened the unit
+    epoch: int = 0
     #: per-unit visit attribution (flight-recorder / PROFILE payload)
     n_real: int = 0
     n_cache_hits: int = 0
@@ -176,7 +178,10 @@ class AsyncServerEngine:
             # quiesces; the coordinator ignores reports from old attempts.
             self.metrics.count("engine.stale_requests", server=server)
             self._record_terminated(msg.travel_id, msg.exec_id, msg.level, msg.attempt, "stale")
-            self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
+            self._report_status(
+                msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level,
+                epoch=msg.epoch,
+            )
             return
         tkey = (msg.travel_id, msg.attempt)
         key = (tkey, msg.level)
@@ -191,7 +196,10 @@ class AsyncServerEngine:
             self._record_terminated(
                 msg.travel_id, msg.exec_id, msg.level, msg.attempt, "coalesced"
             )
-            self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level)
+            self._report_status(
+                msg.travel_id, msg.attempt, msg.exec_id, (), 0, msg.level,
+                epoch=msg.epoch,
+            )
             return
         work = PendingWork(
             travel_key=tkey,
@@ -200,6 +208,7 @@ class AsyncServerEngine:
             exec_id=msg.exec_id,
             all_sources=msg.all_sources,
             enqueued_at=self.ctx.now(),
+            epoch=msg.epoch,
         )
         self._pending[key] = work
         self.metrics.count("engine.units_enqueued", server=server)
@@ -219,7 +228,9 @@ class AsyncServerEngine:
         entry = self.registry.get(msg.travel_id)
         if entry is None or entry.attempt != msg.attempt:
             self._record_terminated(msg.travel_id, msg.exec_id, None, msg.attempt, "stale")
-            self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), 0, None)
+            self._report_status(
+                msg.travel_id, msg.attempt, msg.exec_id, (), 0, None, epoch=msg.epoch
+            )
             return
         tkey = (msg.travel_id, msg.attempt)
         fwd_key = (tkey, msg.rtn_level)
@@ -232,6 +243,7 @@ class AsyncServerEngine:
                 msg.travel_id,
                 ResultReport(
                     msg.travel_id,
+                    epoch=entry.epoch,
                     level=msg.rtn_level,
                     vertices=frozenset(fresh),
                     attempt=msg.attempt,
@@ -242,7 +254,10 @@ class AsyncServerEngine:
             msg.travel_id, msg.exec_id, None, msg.attempt, "rtn",
             anchors=len(msg.anchors), results_sent=results_sent,
         )
-        self._report_status(msg.travel_id, msg.attempt, msg.exec_id, (), results_sent, None)
+        self._report_status(
+            msg.travel_id, msg.attempt, msg.exec_id, (), results_sent, None,
+            epoch=entry.epoch,
+        )
 
     # -- worker loop ---------------------------------------------------------------
 
@@ -261,7 +276,9 @@ class AsyncServerEngine:
         entry = self.registry.get(travel_id)
         if entry is None or entry.attempt != attempt:
             self._record_terminated(travel_id, work.exec_id, work.level, attempt, "stale")
-            self._report_status(travel_id, attempt, work.exec_id, (), 0, work.level)
+            self._report_status(
+                travel_id, attempt, work.exec_id, (), 0, work.level, epoch=work.epoch
+            )
             return
         plan = entry.plan
         level = work.level
@@ -303,7 +320,7 @@ class AsyncServerEngine:
             if did_io:
                 first_in_batch = False
 
-        created, results_sent = self._flush(work, plan, sinks)
+        created, results_sent = self._flush(work, plan, sinks, entry.epoch)
         self.spans.end(unit_span, vertices=len(items), created=len(created))
         self._record_terminated(
             travel_id, work.exec_id, level, attempt, "ok",
@@ -316,7 +333,8 @@ class AsyncServerEngine:
             combined=work.n_combined,
         )
         self._report_status(
-            travel_id, attempt, work.exec_id, tuple(created), results_sent, level
+            travel_id, attempt, work.exec_id, tuple(created), results_sent, level,
+            epoch=entry.epoch,
         )
 
     def _level0_override(
@@ -445,7 +463,7 @@ class AsyncServerEngine:
     # -- dispatch --------------------------------------------------------------------
 
     def _flush(
-        self, work: PendingWork, plan, sinks: ExpandSinks
+        self, work: PendingWork, plan, sinks: ExpandSinks, epoch: int = 0
     ) -> tuple[list[tuple[ExecId, ServerId, int]], int]:
         travel_id, attempt = work.travel_key
         sent = self._sent.setdefault(work.travel_key, {})
@@ -465,6 +483,7 @@ class AsyncServerEngine:
             )
             request = TraverseRequest(
                 travel_id,
+                epoch=epoch,
                 level=nlvl,
                 entries=entries,
                 exec_id=eid,
@@ -488,6 +507,7 @@ class AsyncServerEngine:
             )
             success = SuccessReport(
                 travel_id,
+                epoch=epoch,
                 rtn_level=rtn_level,
                 anchors=frozenset(anchors),
                 exec_id=eid,
@@ -506,6 +526,7 @@ class AsyncServerEngine:
                 travel_id,
                 ResultReport(
                     travel_id,
+                    epoch=epoch,
                     level=plan.final_level,
                     vertices=frozenset(sinks.final_results),
                     groups=tuple(sorted(sinks.final_groups.items())),
@@ -553,6 +574,8 @@ class AsyncServerEngine:
         created: tuple[tuple[ExecId, ServerId, int], ...],
         results_sent: int,
         level: Optional[int],
+        *,
+        epoch: int = 0,
     ) -> None:
         # The per-traversal ``executions`` statistic is counted by the
         # coordinator on *fresh* terminations only — counting here would
@@ -562,6 +585,7 @@ class AsyncServerEngine:
             travel_id,
             ExecStatus(
                 travel_id,
+                epoch=epoch,
                 exec_id=exec_id,
                 server=self.ctx.server_id,
                 created=created,

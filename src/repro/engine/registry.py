@@ -44,6 +44,10 @@ def analyze_sources(plan: TraversalPlan) -> SourceInfo:
 class TravelEntry:
     plan: TraversalPlan
     attempt: int = 0
+    #: coordinator epoch that dispatched the current attempt — servers stamp
+    #: it on everything they send so a recovered coordinator (next epoch)
+    #: can fence reports that belong to its dead predecessor
+    epoch: int = 0
     source_info: SourceInfo = field(default_factory=lambda: SourceInfo(None, FilterSet()))
 
 

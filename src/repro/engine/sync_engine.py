@@ -165,6 +165,7 @@ class SyncServerEngine:
             )
             return
         plan = entry.plan
+        coord_epoch = entry.epoch
         rtn_levels = intermediate_rtn_levels(plan)
         all_sources = level == 0 and plan.source_ids is None
         level0_override: Optional[FilterSet] = None
@@ -230,7 +231,7 @@ class SyncServerEngine:
                 level0_override,
             )
 
-        results_sent = self._emit_results(travel_id, attempt, plan, sinks)
+        results_sent = self._emit_results(travel_id, attempt, coord_epoch, plan, sinks)
         sent_counts: dict[ServerId, int] = {}
         for (nlvl, target), out_entries in sorted(sinks.out.items()):
             # Data-flow edge from this work unit into the next level's unit
@@ -251,6 +252,7 @@ class SyncServerEngine:
                 target,
                 SyncBatch(
                     travel_id,
+                    epoch=coord_epoch,
                     level=nlvl,
                     entries=out_entries,
                     from_server=self.ctx.server_id,
@@ -280,6 +282,7 @@ class SyncServerEngine:
             travel_id,
             SyncStepDone(
                 travel_id,
+                epoch=coord_epoch,
                 level=level,
                 server=self.ctx.server_id,
                 sent_counts=sent_counts,
@@ -288,7 +291,7 @@ class SyncServerEngine:
             ),
         )
 
-    def _emit_results(self, travel_id, attempt, plan, sinks: ExpandSinks) -> int:
+    def _emit_results(self, travel_id, attempt, coord_epoch, plan, sinks: ExpandSinks) -> int:
         """Ship final vertices and completed rtn anchors to the coordinator.
 
         The synchronous baseline returns everything through its controller;
@@ -301,6 +304,7 @@ class SyncServerEngine:
                 travel_id,
                 ResultReport(
                     travel_id,
+                    epoch=coord_epoch,
                     level=plan.final_level,
                     vertices=frozenset(sinks.final_results),
                     groups=tuple(sorted(sinks.final_groups.items())),
@@ -316,6 +320,7 @@ class SyncServerEngine:
                 travel_id,
                 ResultReport(
                     travel_id,
+                    epoch=coord_epoch,
                     level=rtn_level,
                     vertices=frozenset(anchors),
                     attempt=attempt,

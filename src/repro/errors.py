@@ -23,6 +23,25 @@ class KeyNotFound(StorageError):
     """A requested key (or vertex) does not exist in the store."""
 
 
+class CorruptCheckpoint(StorageError):
+    """A checkpoint failed its integrity check on restore.
+
+    Raised when an SSTable file or the manifest is truncated, fails its
+    CRC32, or disagrees with the manifest's recorded shape. A damaged
+    checkpoint is surfaced as a typed error instead of silently restoring
+    a truncated store.
+    """
+
+
+class CorruptJournal(StorageError):
+    """A traversal-journal record failed its integrity check on replay.
+
+    Raised when a record's length prefix runs past the end of the journal
+    or its CRC32 does not match. Replay fails loudly rather than silently
+    rebuilding coordinator state from a damaged log.
+    """
+
+
 class GraphError(ReproError):
     """Raised for invalid property-graph construction or lookups."""
 

@@ -99,6 +99,7 @@ def run_under_faults(
     coordinator_config: Optional[CoordinatorConfig] = None,
     reliable: bool = True,
     trace: bool = False,
+    journal: bool = False,
 ) -> tuple[Optional[dict], Optional[str], dict, Optional[dict]]:
     """One traversal under ``plan``.
 
@@ -115,6 +116,7 @@ def run_under_faults(
         reliable=reliable,
         coordinator_config=coordinator_config or CoordinatorConfig(),
         trace_enabled=trace,
+        journal=journal,
     )
     cluster = Cluster.build(graph, config)
     returned: Optional[dict] = None
@@ -155,6 +157,7 @@ def chaos_check(
     engine: Union[EngineKind, EngineOptions] = EngineKind.GRAPHTREK,
     nservers: int = 3,
     crash: bool = False,
+    crash_coordinator: bool = False,
     coordinator_config: Optional[CoordinatorConfig] = None,
     reliable: bool = True,
     max_drop: float = 0.12,
@@ -165,18 +168,25 @@ def chaos_check(
 
     ``crash=True`` additionally schedules one mid-traversal server crash,
     with the crash window placed inside the fault-free run's duration so the
-    crash lands while work is in flight. ``trace=True`` runs the faulty leg
-    with the flight recorder on and attaches the reconstructed execution
-    DAG(s) to ``ChaosOutcome.traces``.
+    crash lands while work is in flight. ``crash_coordinator=True`` also
+    crashes the *coordinator-hosting* server mid-traversal (with a scheduled
+    recovery) and runs the faulty leg with the traversal journal enabled, so
+    the differential verdict covers journal replay and epoch fencing.
+    ``trace=True`` runs the faulty leg with the flight recorder on and
+    attaches the reconstructed execution DAG(s) to ``ChaosOutcome.traces``.
     """
     baseline, duration = run_fault_free(graph, query, engine=engine, nservers=nservers)
-    crash_window = (0.2 * duration, 3.0 * duration) if crash else None
+    crash_window = (
+        (0.2 * duration, 3.0 * duration) if (crash or crash_coordinator) else None
+    )
     plan = sample_fault_plan(
         seed,
         nservers=nservers,
         max_drop=max_drop,
         max_duplicate=max_duplicate,
         crash_window=crash_window,
+        crash_servers=None if crash else (),
+        crash_coordinator=crash_coordinator,
     )
     cc = coordinator_config or chaos_coordinator_config(duration)
     faulty, error, counters, traces = run_under_faults(
@@ -188,6 +198,7 @@ def chaos_check(
         coordinator_config=cc,
         reliable=reliable,
         trace=trace,
+        journal=crash_coordinator,
     )
     return ChaosOutcome(
         seed=seed,
@@ -262,6 +273,7 @@ def chaos_check_many(
     deadlines: Optional[list[Optional[float]]] = None,
     tenants: Optional[list[str]] = None,
     crash: bool = False,
+    crash_coordinator: bool = False,
     reliable: bool = True,
     max_drop: float = 0.12,
     max_duplicate: float = 0.10,
@@ -271,7 +283,10 @@ def chaos_check_many(
 
     ``deadlines[i]`` (virtual seconds from admission, or None) arms
     scheduler-driven cancellation for query *i*, so the run exercises mixed
-    cancel + crash schedules. The contract, per query: match its serial
+    cancel + crash schedules. ``crash_coordinator=True`` crashes (and
+    recovers) the coordinator-hosting server mid-workload with the journal
+    enabled, so queued, running, and composite travels all cross a
+    coordinator epoch. The contract, per query: match its serial
     fault-free oracle, fail cleanly, or — deadline queries only — cancel
     cleanly. Co-running queries must be unaffected by a neighbour's
     cancellation, and the cluster must hold zero scheduler/coordinator/
@@ -293,13 +308,17 @@ def chaos_check_many(
         durations.append(duration)
     horizon = max(durations) if durations else 0.05
 
-    crash_window = (0.2 * horizon, 3.0 * horizon) if crash else None
+    crash_window = (
+        (0.2 * horizon, 3.0 * horizon) if (crash or crash_coordinator) else None
+    )
     plan = sample_fault_plan(
         seed,
         nservers=nservers,
         max_drop=max_drop,
         max_duplicate=max_duplicate,
         crash_window=crash_window,
+        crash_servers=None if crash else (),
+        crash_coordinator=crash_coordinator,
     )
     opts = engine if isinstance(engine, EngineOptions) else options_for(engine)
     opts = replace(opts, scheduler=scheduler)
@@ -312,6 +331,7 @@ def chaos_check_many(
             reliable=reliable,
             coordinator_config=chaos_coordinator_config(horizon),
             scheduler_config=scheduler_config,
+            journal=crash_coordinator,
         ),
     )
     cluster.cold_start()
@@ -358,6 +378,10 @@ def chaos_check_many(
             leaked.append(f"active coordinator state for travel {travel_id}")
         if travel_id in cluster.coordinator._composites:
             leaked.append(f"composite coordinator state for travel {travel_id}")
+    if cluster.supervisor is not None and cluster.supervisor.live_bindings:
+        leaked.append(
+            f"recovery supervisor bindings {cluster.supervisor.live_bindings}"
+        )
     counters = _net_counters(cluster.metrics_snapshot())
     cluster.shutdown()
     return ChaosManyOutcome(

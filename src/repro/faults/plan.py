@@ -66,10 +66,11 @@ class CrashEvent:
     def validate(self, nservers: int, coordinator_server: ServerId) -> None:
         if not 0 <= self.server < nservers:
             raise SimulationError(f"crash server {self.server} out of range")
-        if self.server == coordinator_server:
+        if self.server == coordinator_server and self.recover_at == float("inf"):
             raise SimulationError(
-                "cannot crash the coordinator-hosting server: the coordinator "
-                "actor is the client's always-up representative (paper §IV-A)"
+                "a coordinator-hosting server crash must schedule recover_at: "
+                "a coordinator that never comes back cannot complete any "
+                "travel, so the plan is a config error, not a hang"
             )
         if self.at < 0 or self.recover_at <= self.at:
             raise SimulationError(
@@ -116,12 +117,19 @@ def sample_fault_plan(
     max_delay: float = 0.20,
     crash_window: Optional[tuple[float, float]] = None,
     crash_servers: Optional[Sequence[ServerId]] = None,
+    crash_coordinator: bool = False,
 ) -> FaultPlan:
     """Draw a random-but-reproducible fault plan for the chaos harness.
 
     Probabilities are sampled uniformly below the given caps; when
     ``crash_window=(lo, hi)`` is given, one mid-traversal crash is scheduled
-    on a non-coordinator server with a recovery inside the window.
+    on a non-coordinator server with a recovery inside the window. With
+    ``crash_coordinator=True`` an *additional* crash/recover of the
+    coordinator-hosting server is scheduled inside the same window — drawn
+    after the existing draws, so plans sampled without the flag are
+    byte-for-byte what they were before the coordinator became crashable.
+    Passing an empty ``crash_servers`` sequence together with the flag makes
+    the coordinator the *only* crash victim.
     """
     rng = np.random.default_rng(derive_seed(seed, "faults.sample"))
     default = FaultSpec(
@@ -140,12 +148,21 @@ def sample_fault_plan(
             for s in (crash_servers if crash_servers is not None else range(nservers))
             if s != coordinator_server
         ]
-        if not candidates:
+        if not candidates and not crash_coordinator:
             raise SimulationError("no crashable server outside the coordinator")
-        victim = candidates[int(rng.integers(0, len(candidates)))]
-        at = float(rng.uniform(lo, lo + 0.5 * (hi - lo)))
-        recover_at = float(rng.uniform(at + 0.25 * (hi - lo), hi))
-        crashes = (CrashEvent(server=victim, at=at, recover_at=recover_at),)
+        if candidates:
+            victim = candidates[int(rng.integers(0, len(candidates)))]
+            at = float(rng.uniform(lo, lo + 0.5 * (hi - lo)))
+            recover_at = float(rng.uniform(at + 0.25 * (hi - lo), hi))
+            crashes = (CrashEvent(server=victim, at=at, recover_at=recover_at),)
+        if crash_coordinator:
+            c_at = float(rng.uniform(lo, lo + 0.5 * (hi - lo)))
+            c_recover = float(rng.uniform(c_at + 0.25 * (hi - lo), hi))
+            crashes += (
+                CrashEvent(server=coordinator_server, at=c_at, recover_at=c_recover),
+            )
+    elif crash_coordinator:
+        raise SimulationError("crash_coordinator requires a crash_window")
     plan = FaultPlan(seed=seed, default=default, crashes=crashes)
     plan.validate(nservers, coordinator_server)
     return plan

@@ -38,9 +38,17 @@ def entries_nbytes(entries: Entries) -> int:
 
 @dataclass
 class Message:
-    """Base class; ``travel_id`` scopes every message to one traversal."""
+    """Base class; ``travel_id`` scopes every message to one traversal.
+
+    ``epoch`` is the coordinator incarnation that (transitively) caused the
+    message: stamped on every dispatch, echoed by servers on everything
+    derived from it. A recovered coordinator runs under a new epoch and
+    fences messages carrying an older one, so in-flight reports from before
+    a coordinator crash can never corrupt post-recovery bookkeeping.
+    """
 
     travel_id: TravelId
+    epoch: int = 0
 
     @property
     def nbytes(self) -> int:

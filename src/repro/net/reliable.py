@@ -125,6 +125,10 @@ class ReliableChannel:
         self._lock = threading.RLock()
         #: invoked as ``fn(src, dst, payload)`` when retries are exhausted
         self.on_delivery_failure: Optional[Callable[..., None]] = None
+        #: the live coordinator incarnation; bumped by the recovery
+        #: supervisor so frames from a dead epoch are never acked (the
+        #: sender retries until its own stale attempt quiesces)
+        self.coordinator_epoch: int = 0
 
     # -- wiring (called by Runtime.install_channel) -------------------------
 
@@ -243,11 +247,30 @@ class ReliableChannel:
             self._release(entry)
 
     def _on_data(self, addr: ServerId, frame: DataFrame) -> None:
+        payload = frame.payload
         # Always (re-)ack: the previous ack may itself have been lost.
         ack_src = self.runtime.coordinator_server if addr == COORDINATOR else addr
         self.runtime.raw_deliver(ack_src, frame.src, AckFrame(frame.travel_id, seq=frame.seq))
-        payload = frame.payload
-        key = (getattr(payload, "attempt", 0), frame.seq)
+        if addr == COORDINATOR:
+            # Epoch fence below the coordinator: a frame stamped by a dead
+            # incarnation is acked at the transport level (the RST-like ack
+            # frees the sender's bounded window — stale executions keep
+            # streaming reports long after recovery, and never-acked frames
+            # would head-of-line-block fresh epoch traffic) but is never
+            # delivered, and never enters the new epoch's dedup window: the
+            # receiver key is (epoch, attempt, seq), so a dead epoch can
+            # neither suppress nor masquerade as post-recovery traffic.
+            msg_epoch = getattr(payload, "epoch", 0)
+            if msg_epoch != self.coordinator_epoch:
+                self._count(
+                    "coord.fenced", layer="net", type=type(payload).__name__
+                )
+                return
+        key = (
+            getattr(payload, "epoch", 0),
+            getattr(payload, "attempt", 0),
+            frame.seq,
+        )
         with self._lock:
             seen = self._seen.setdefault(addr, {}).setdefault(frame.travel_id, set())
             if key in seen:
@@ -286,6 +309,38 @@ class ReliableChannel:
             if lost:
                 self._count("net.inflight_lost", len(lost), server=server)
             for link in [l for l in self._queued if l[0] == server]:
+                del self._queued[link]
+
+    def on_coordinator_crash(self) -> None:
+        """The coordinator actor died with its host: clear the COORDINATOR
+        receiver dedup window and reset every coordinator-destined
+        connection. The next epoch deduplicates on its own
+        ``(epoch, attempt, seq)`` keys, so pre-crash sequence numbers can
+        never suppress (or be acked as) post-recovery traffic.
+
+        Dropping unacked coordinator-destined frames models the connection
+        reset a real process death causes — while the host is down no ack
+        can flow, so in-flight and queued frames would otherwise burn their
+        whole retry budget against a dead link and hold the bounded
+        per-link window hostage until recovery. The recovery supervisor
+        calls this again at recovery time to clear frames senders queued
+        during the down window (post-recovery, stale frames that do reach
+        the fence are acked-but-dropped, so they cannot re-clog it)."""
+        with self._lock:
+            self._seen.pop(COORDINATOR, None)
+            stale = [e for e in self._inflight.values() if e.dst == COORDINATOR]
+            for entry in stale:
+                if self.spans is not None and entry.retry_span:
+                    self.spans.end(
+                        entry.retry_span, outcome="crashed",
+                        retries=entry.attempts - 1,
+                    )
+                self._inflight.pop(entry.seq, None)
+                link = entry.link
+                self._link_inflight[link] = max(0, self._link_inflight.get(link, 1) - 1)
+            if stale:
+                self._count("net.inflight_lost", len(stale), server=COORDINATOR)
+            for link in [l for l in self._queued if l[1] == COORDINATOR]:
                 del self._queued[link]
 
     def forget_travel(self, travel_id: TravelId) -> None:

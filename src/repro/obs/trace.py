@@ -15,7 +15,9 @@ structured :class:`TraceEvent` carrying
   ``travel.failed``;
 * transport and faults — ``net.retry`` / ``net.dup_drop`` /
   ``net.delivery_failed`` / ``fault.drop`` / ``fault.verdict`` /
-  ``fault.crash`` / ``fault.recover``.
+  ``fault.crash`` / ``fault.recover``;
+* coordinator crash recovery — ``coord.crash`` / ``coord.recover`` /
+  ``coord.replay`` / ``coord.fenced``.
 
 Recording is out-of-band (costs no simulated time) and never reads the wall
 clock, so on the simulated runtime the event stream — and every rendering of
@@ -62,6 +64,13 @@ EVENT_KINDS = (
     "fault.verdict",
     "fault.crash",
     "fault.recover",
+    # coordinator crash recovery (PR 7): the control plane's own crash,
+    # the new-epoch recovery, per-travel journal replay decisions, and
+    # fenced pre-crash messages — instants on the coordinator row
+    "coord.crash",
+    "coord.recover",
+    "coord.replay",
+    "coord.fenced",
     # scheduler lifecycle (repro.sched): admission, launch, rejection,
     # cancellation — annotations on the travel row, not DAG nodes
     "sched.submit",
@@ -704,6 +713,19 @@ def chrome_trace(
                     "ts": _us(ev.clock),
                     "pid": pid,
                     "tid": 0,
+                }
+            )
+        elif ev.kind in ("coord.crash", "coord.recover", "coord.replay", "coord.fenced"):
+            out.append(
+                {
+                    "name": ev.kind,
+                    "cat": "coord",
+                    "ph": "i",
+                    "s": "g" if ev.kind in ("coord.crash", "coord.recover") else "t",
+                    "ts": _us(ev.clock),
+                    "pid": pid_base,
+                    "tid": ev.travel_id if ev.travel_id is not None else 0,
+                    "args": {k: ev.attrs[k] for k in sorted(ev.attrs)},
                 }
             )
 

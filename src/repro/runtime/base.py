@@ -226,7 +226,8 @@ class Runtime(ABC):
         """Decide what the wire does to one delivery: a FaultDecision whose
         ``drop`` covers crashed endpoints, the legacy ``drop_filter``, and
         the installed fault plan. Every drop is counted (``net.dropped``)."""
-        if self.is_down(src) or (dst != COORDINATOR and self.is_down(dst)):
+        dst_host = self.coordinator_server if dst == COORDINATOR else dst
+        if self.is_down(src) or self.is_down(dst_host):
             self._note_drop(msg, "down")
             self._trace_verdict(src, dst, msg, "down")
             return _DROP

@@ -106,6 +106,7 @@ class TraversalScheduler:
         self.config = config or SchedulerConfig()
         self.metrics = coordinator.metrics
         self.trace = coordinator.trace
+        self.journal = coordinator.journal
         self._ctx = coordinator.ctx
         self._seq = itertools.count()
         self._heap: list[tuple[tuple, int, TravelId]] = []
@@ -136,6 +137,11 @@ class TraversalScheduler:
     def inflight_count(self) -> int:
         return len(self._inflight)
 
+    def entry_for(self, travel_id: TravelId) -> Optional[QueuedTravel]:
+        """The queued or in-flight entry for ``travel_id`` (None once
+        terminal)."""
+        return self._queued.get(travel_id) or self._inflight.get(travel_id)
+
     def tenant_tokens(self, tenant: str) -> Optional[float]:
         """Current token balance (after refill), or None without quotas."""
         if self.config.quota_capacity is None:
@@ -160,6 +166,9 @@ class TraversalScheduler:
         """
         now = self._ctx.now()
         cfg = self.config
+        if self.runtime.is_down(self.runtime.coordinator_server):
+            self.metrics.count("sched.rejected", tenant=tenant)
+            raise AdmissionRejected(tenant, "coordinator host is down")
         if cfg.max_pending is not None and len(self._queued) >= cfg.max_pending:
             self.metrics.count("sched.rejected", tenant=tenant)
             self.trace.record(
@@ -186,6 +195,17 @@ class TraversalScheduler:
             entry.deadline = now + relative
             self.runtime.schedule(
                 relative, lambda tid=travel_id: self._deadline_fire(tid)
+            )
+        if self.journal is not None:
+            self.journal.append(
+                "admit",
+                tid=travel_id,
+                plan=plan,
+                tenant=tenant,
+                priority=priority,
+                deadline=entry.deadline,
+                admit_time=now,
+                seq=entry.seq,
             )
         self._queued[travel_id] = entry
         heapq.heappush(self._heap, (entry.key, entry.seq, travel_id))
@@ -225,7 +245,10 @@ class TraversalScheduler:
                 where="queued",
                 reason=reason,
             )
+            if self.journal is not None:
+                self.journal.append("terminal", tid=travel_id, status="cancelled")
             entry.client_event.fail(TraversalCancelled(travel_id, reason))
+            self._notify_terminal(travel_id)
             self._pump()
             return True
         if travel_id in self._inflight:
@@ -238,6 +261,14 @@ class TraversalScheduler:
             if entry is None or entry.state in ("done", "cancelled"):
                 return
             self.cancel(travel_id, reason="deadline exceeded")
+
+    def _notify_terminal(self, travel_id: TravelId) -> None:
+        """Tell downstream terminal listeners (the recovery supervisor
+        chains after this scheduler on ``coordinator.on_terminal``) about a
+        queued-side cancellation the coordinator never saw."""
+        handler = self.coordinator.on_terminal
+        if handler is not None and handler != self._on_travel_terminal:
+            handler(travel_id, "cancelled")
 
     def _on_travel_terminal(self, travel_id: TravelId, status: str) -> None:
         """Coordinator callback: a launched traversal reached a terminal
@@ -347,6 +378,8 @@ class TraversalScheduler:
             tenant=entry.tenant,
             wait=wait,
         )
+        if self.journal is not None:
+            self.journal.append("launch", tid=entry.travel_id, tenant=entry.tenant)
         self.coordinator.submit(
             entry.plan,
             travel_id=entry.travel_id,
@@ -396,6 +429,107 @@ class TraversalScheduler:
             self._poll_armed = False
             if self._queued:
                 self._pump()
+
+    # -- coordinator crash recovery (DESIGN.md §13) -------------------------
+
+    def on_host_crash(self) -> None:
+        """The coordinator's host crashed: drop all scheduler state.
+
+        Client completion events are *not* failed here — they survive the
+        crash and are re-bound during recovery (queued travels are
+        readmitted, running ones resumed). The recovery supervisor fails
+        the events of anything it cannot restore.
+        """
+        self._queued.clear()
+        self._heap.clear()
+        self._inflight.clear()
+        self._buckets.clear()
+        self._pumping = False
+        self._repump = False
+        self._poll_armed = False
+
+    def readmit(
+        self,
+        travel_id: TravelId,
+        plan: TraversalPlan,
+        *,
+        client_event: Any,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline_abs: Optional[float] = None,
+        admit_time: float = 0.0,
+    ) -> bool:
+        """Re-queue a journaled-but-never-launched traversal after a
+        coordinator crash, preserving its tenant/priority/deadline QoS.
+
+        Call in original admission (``seq``) order so fresh sequence
+        numbers reproduce the pre-crash queue order. Returns False (and
+        cancels the travel) when its deadline already passed.
+        """
+        now = self._ctx.now()
+        if deadline_abs is not None and deadline_abs <= now:
+            self.metrics.count(
+                "sched.cancelled", tenant=tenant, where="queued"
+            )
+            if self.journal is not None:
+                self.journal.append("terminal", tid=travel_id, status="cancelled")
+            client_event.fail(TraversalCancelled(travel_id, "deadline exceeded"))
+            self._notify_terminal(travel_id)
+            return False
+        entry = QueuedTravel(
+            travel_id=travel_id,
+            plan=plan,
+            tenant=tenant,
+            priority=priority,
+            client_event=client_event,
+            admit_time=admit_time,
+            seq=next(self._seq),
+            deadline=deadline_abs,
+        )
+        entry.key = self.policy.key(entry)
+        if deadline_abs is not None:
+            self.runtime.schedule(
+                max(deadline_abs - now, 1e-9),
+                lambda tid=travel_id: self._deadline_fire(tid),
+            )
+        self._queued[travel_id] = entry
+        heapq.heappush(self._heap, (entry.key, entry.seq, travel_id))
+        self.metrics.count("sched.readmitted", tenant=tenant)
+        self._pump()
+        return True
+
+    def restore_inflight(
+        self,
+        travel_id: TravelId,
+        plan: TraversalPlan,
+        *,
+        client_event: Any,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline_abs: Optional[float] = None,
+        admit_time: float = 0.0,
+    ) -> None:
+        """Re-track a traversal the recovered coordinator resumed, so
+        terminal accounting and deadline cancellation keep working."""
+        entry = QueuedTravel(
+            travel_id=travel_id,
+            plan=plan,
+            tenant=tenant,
+            priority=priority,
+            client_event=client_event,
+            admit_time=admit_time,
+            seq=next(self._seq),
+            deadline=deadline_abs,
+            state="running",
+        )
+        self._inflight[travel_id] = entry
+        if deadline_abs is not None:
+            # expired deadlines fire on the next tick, after the resumed
+            # travel is fully re-dispatched, and cancel it mid-run
+            self.runtime.schedule(
+                max(deadline_abs - self._ctx.now(), 1e-9),
+                lambda tid=travel_id: self._deadline_fire(tid),
+            )
 
     # -- draining (tests / shutdown hygiene) --------------------------------
 

@@ -1,0 +1,132 @@
+"""Coordinator introspection under the interesting lifecycles: ``progress()``
+and ``inflight_by_server()`` for cancelled and composite travels (the plain
+running-travel case is covered by the engine-internals tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind, ReferenceEngine
+from repro.errors import TraversalCancelled
+from repro.graph.builder import PropertyGraph
+from repro.lang.gtravel import GTravel
+
+
+def chain_graph(n: int = 60) -> PropertyGraph:
+    g = PropertyGraph()
+    for i in range(n):
+        g.add_vertex(i, "node", {})
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, "link", {})
+    return g
+
+
+def kstep(src: int, steps: int) -> GTravel:
+    q = GTravel.v(src)
+    for _ in range(steps):
+        q = q.e("link")
+    return q
+
+
+def _drain_to(cluster, until: float) -> None:
+    """Advance the virtual clock to ``until`` without completing anything."""
+    ev = cluster.runtime.sim.event("probe")
+    cluster.runtime.sim.schedule(until, ev.succeed)
+    cluster.runtime.sim.run_until(ev)
+
+
+def _duration_of(graph, query) -> float:
+    cluster = Cluster.build(graph, ClusterConfig(nservers=3, engine=EngineKind.GRAPHTREK))
+    start = cluster.now
+    cluster.traverse(query)
+    return cluster.now - start
+
+
+def test_progress_of_cancelled_travel_clears():
+    """Mid-run the travel reports outstanding executions; after an explicit
+    cancel both views are empty — cancellation leaves no phantom work."""
+    graph = chain_graph()
+    query = kstep(0, 12).compile()
+    duration = _duration_of(graph, query)
+    cluster = Cluster.build(graph, ClusterConfig(nservers=3, engine=EngineKind.GRAPHTREK))
+    travel_id, event = cluster.submit(query)
+    _drain_to(cluster, 0.5 * duration)
+    assert not event.triggered
+    mid = cluster.coordinator.progress(travel_id)
+    assert mid and all(v >= 0 for v in mid.values())
+    inflight = cluster.coordinator.inflight_by_server()
+    assert inflight and all(0 <= s < 3 for s in inflight)
+    assert sum(inflight.values()) >= sum(mid.values()) > 0
+
+    assert cluster.cancel(travel_id, reason="operator abort")
+    with pytest.raises(TraversalCancelled):
+        cluster.runtime.run_until_complete(event)
+    assert cluster.coordinator.progress(travel_id) == {}
+    assert cluster.coordinator.inflight_by_server() == {}
+
+
+def test_progress_of_deadline_cancelled_travel_clears():
+    cluster = Cluster.build(
+        chain_graph(), ClusterConfig(nservers=3, engine=EngineKind.GRAPHTREK)
+    )
+    travel_id, event = cluster.submit(kstep(0, 12).compile(), deadline=1e-6)
+    with pytest.raises(TraversalCancelled):
+        cluster.runtime.run_until_complete(event)
+    assert cluster.coordinator.progress(travel_id) == {}
+    assert cluster.coordinator.inflight_by_server() == {}
+
+
+def test_progress_of_composite_delegates_to_current_child():
+    """A composite parent's progress is its current child's progress, and
+    the child's outstanding executions show up in inflight_by_server."""
+    graph = chain_graph()
+    query = GTravel.v(0).repeat(GTravel.s().e("link")).times(3).compile()
+    cluster = Cluster.build(graph, ClusterConfig(nservers=3, engine=EngineKind.GRAPHTREK))
+    travel_id, event = cluster.submit(query)
+    observations = []
+
+    def probe():
+        ct = cluster.coordinator._composites.get(travel_id)
+        if ct is not None and ct.current_child is not None:
+            parent = cluster.coordinator.progress(travel_id)
+            child = cluster.coordinator.progress(ct.current_child)
+            observations.append(
+                (parent, child, cluster.coordinator.inflight_by_server())
+            )
+        if not event.triggered:
+            cluster.runtime.schedule(1e-5, probe)
+
+    cluster.runtime.schedule(0.0, probe)
+    outcome = cluster.runtime.run_until_complete(event)
+    ref = ReferenceEngine(graph).run(query)
+    assert outcome.result.same_vertices(ref)
+
+    assert observations, "composite never had an observable child in flight"
+    for parent, child, inflight in observations:
+        assert parent == child
+        for server, count in inflight.items():
+            assert 0 <= server < 3 and count > 0
+    assert any(parent for parent, _, _ in observations)
+    # after completion every view is empty again
+    assert cluster.coordinator.progress(travel_id) == {}
+    assert cluster.coordinator.inflight_by_server() == {}
+    assert travel_id not in cluster.coordinator._composites
+
+
+def test_progress_of_cancelled_composite_clears():
+    """Deadline-cancel a composite mid-program: parent and child state both
+    drain, and the introspection views empty out."""
+    graph = chain_graph()
+    query = GTravel.v(0).repeat(GTravel.s().e("link")).times(6).compile()
+    duration = _duration_of(graph, query)
+    cluster = Cluster.build(graph, ClusterConfig(nservers=3, engine=EngineKind.GRAPHTREK))
+    travel_id, event = cluster.submit(query, deadline=0.4 * duration)
+    with pytest.raises(TraversalCancelled):
+        cluster.runtime.run_until_complete(event)
+    assert cluster.coordinator.progress(travel_id) == {}
+    assert cluster.coordinator.inflight_by_server() == {}
+    assert travel_id not in cluster.coordinator._composites
+    assert travel_id not in cluster.coordinator._active
+    # unknown ids are a safe no-op, not a KeyError
+    assert cluster.coordinator.progress(10_000) == {}

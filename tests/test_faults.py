@@ -29,11 +29,16 @@ def test_fault_spec_rejects_bad_probability():
         FaultSpec(delay_seconds=-1.0).validate()
 
 
-def test_crash_event_rejects_coordinator_server():
-    ev = CrashEvent(server=0, at=1.0, recover_at=2.0)
+def test_crash_event_coordinator_requires_recovery():
+    # a coordinator-hosting server may crash — but only with a scheduled
+    # recovery; a permanent coordinator loss is a config error, not a hang
+    CrashEvent(server=0, at=1.0, recover_at=2.0).validate(
+        nservers=3, coordinator_server=0
+    )
     with pytest.raises(SimulationError, match="coordinator"):
-        ev.validate(nservers=3, coordinator_server=0)
-    ev.validate(nservers=3, coordinator_server=1)  # fine elsewhere
+        CrashEvent(server=0, at=1.0).validate(nservers=3, coordinator_server=0)
+    # permanent crashes elsewhere stay legal
+    CrashEvent(server=1, at=1.0).validate(nservers=3, coordinator_server=0)
 
 
 def test_crash_event_rejects_unordered_window():

@@ -1,0 +1,163 @@
+"""Unit tests for the durable traversal journal (WAL framing, CRC
+integrity, replay fold, compaction, and the file backend)."""
+
+import pickle
+
+import pytest
+
+from repro.cluster.journal import (
+    FileJournalStorage,
+    JournalState,
+    MemoryJournalStorage,
+    TraversalJournal,
+)
+from repro.errors import CorruptJournal
+from repro.storage.persist import pack_record
+
+
+def _sample_plan():
+    return {"steps": ["run", "hasExecutions"]}
+
+
+def test_append_replay_roundtrip():
+    journal = TraversalJournal()
+    journal.append("admit", tid=1, plan=_sample_plan(), tenant="batch",
+                   priority=2, deadline=5.0, admit_time=0.1, seq=0)
+    journal.append("launch", tid=1, tenant="batch")
+    journal.append("dispatch", tid=1, plan=_sample_plan(), attempt=0, epoch=0,
+                   composite=False, child_of=None, submit_time=0.2)
+    state = journal.replay()
+    assert 1 in state.running and not state.queued
+    entry = state.running[1]
+    assert entry["qos"]["tenant"] == "batch"
+    assert entry["qos"]["deadline"] == 5.0
+    assert state.next_travel_id == 2
+    # the live mirror and a cold replay agree
+    assert journal.state.running.keys() == state.running.keys()
+
+
+def test_terminal_clears_state_and_counts():
+    journal = TraversalJournal()
+    journal.append("dispatch", tid=3, plan=_sample_plan(), attempt=0, epoch=0,
+                   composite=False, child_of=None, submit_time=0.0)
+    journal.append("terminal", tid=3, status="ok")
+    journal.append("admit", tid=4, plan=_sample_plan(), tenant="t",
+                   priority=None, deadline=None, admit_time=0.0, seq=1)
+    journal.append("terminal", tid=4, status="cancelled")
+    state = journal.replay()
+    assert not state.running and not state.queued
+    assert state.terminals == {"ok": 1, "cancelled": 1}
+    assert state.next_travel_id == 5
+
+
+def test_progress_records_accumulate():
+    journal = TraversalJournal()
+    journal.append("dispatch", tid=2, plan=_sample_plan(), attempt=0, epoch=0,
+                   composite=False, child_of=None, submit_time=0.0)
+    journal.append("progress", tid=2, statuses=10, results=3)
+    journal.append("progress", tid=2, statuses=5, results=1)
+    journal.append("progress", tid=99, statuses=7)  # unknown tid: ignored
+    state = journal.replay()
+    assert state.running[2]["progress"] == {"statuses": 15, "results": 4}
+
+
+def test_epoch_record_advances_epoch():
+    journal = TraversalJournal()
+    assert journal.state.epoch == 0
+    journal.append("epoch", epoch=2)
+    assert journal.replay().epoch == 2
+
+
+def test_crc_corruption_raises_typed_error():
+    storage = MemoryJournalStorage()
+    journal = TraversalJournal(storage)
+    journal.append("epoch", epoch=1)
+    data = bytearray(storage.read())
+    data[-1] ^= 0xFF  # flip a payload bit → CRC mismatch
+    storage.reset(bytes(data))
+    with pytest.raises(CorruptJournal, match="checksum|crc|mismatch"):
+        journal.replay()
+
+
+def test_torn_tail_raises_typed_error():
+    storage = MemoryJournalStorage()
+    journal = TraversalJournal(storage)
+    journal.append("epoch", epoch=1)
+    storage.reset(storage.read()[:-3])  # torn write: length runs past end
+    with pytest.raises(CorruptJournal):
+        journal.replay()
+
+
+def test_undecodable_and_untagged_records_rejected():
+    storage = MemoryJournalStorage(pack_record(b"\x00not-a-pickle"))
+    with pytest.raises(CorruptJournal, match="undecodable"):
+        TraversalJournal(storage)
+    storage = MemoryJournalStorage(
+        pack_record(pickle.dumps(["no", "kind", "tag"]))
+    )
+    with pytest.raises(CorruptJournal, match="kind-tagged"):
+        TraversalJournal(storage)
+    storage = MemoryJournalStorage(
+        pack_record(pickle.dumps({"kind": "wat"}))
+    )
+    with pytest.raises(CorruptJournal, match="unknown"):
+        TraversalJournal(storage)
+
+
+def test_compaction_bounds_size_and_preserves_state():
+    storage = MemoryJournalStorage()
+    journal = TraversalJournal(storage, checkpoint_interval=8)
+    for tid in range(1, 40):
+        journal.append("dispatch", tid=tid, plan=_sample_plan(), attempt=0,
+                       epoch=0, composite=False, child_of=None, submit_time=0.0)
+        journal.append("terminal", tid=tid, status="ok")
+    journal.append("dispatch", tid=100, plan=_sample_plan(), attempt=0,
+                   epoch=0, composite=False, child_of=None, submit_time=1.0)
+    assert journal.checkpoints_written > 0
+    # compaction keeps the journal proportional to *live* travels, not history
+    assert journal.size_bytes() < journal.bytes_appended / 4
+    state = journal.replay()
+    assert set(state.running) == {100}
+    assert state.terminals["ok"] == 39
+    assert state.next_travel_id == 101
+    # a fresh journal over the same bytes sees the same state
+    cold = TraversalJournal(MemoryJournalStorage(storage.read()))
+    assert cold.state.as_payload() == state.as_payload()
+
+
+def test_checkpoint_then_tail_replay():
+    """Records appended after a compaction fold on top of the checkpoint."""
+    storage = MemoryJournalStorage()
+    journal = TraversalJournal(storage, checkpoint_interval=10_000)
+    journal.append("dispatch", tid=1, plan=_sample_plan(), attempt=0, epoch=0,
+                   composite=False, child_of=None, submit_time=0.0)
+    journal.compact()
+    journal.append("dispatch", tid=2, plan=_sample_plan(), attempt=0, epoch=0,
+                   composite=False, child_of=None, submit_time=0.5)
+    journal.append("terminal", tid=1, status="ok")
+    state = TraversalJournal(MemoryJournalStorage(storage.read())).state
+    assert set(state.running) == {2}
+    assert state.terminals == {"ok": 1}
+
+
+def test_journal_state_payload_roundtrip():
+    state = JournalState(epoch=3, next_travel_id=9,
+                         queued={1: {"tid": 1}}, running={2: {"tid": 2}},
+                         terminals={"ok": 4})
+    assert JournalState.from_payload(state.as_payload()) == state
+
+
+def test_file_journal_storage_roundtrip(tmp_path):
+    path = tmp_path / "wal" / "journal.bin"
+    journal = TraversalJournal(FileJournalStorage(path))
+    journal.append("dispatch", tid=7, plan=_sample_plan(), attempt=0, epoch=0,
+                   composite=False, child_of=None, submit_time=0.0)
+    journal.append("epoch", epoch=1)
+    assert path.exists()
+    # a second process opening the same file sees the same state
+    reopened = TraversalJournal(FileJournalStorage(path))
+    assert set(reopened.state.running) == {7}
+    assert reopened.state.epoch == 1
+    reopened.compact()
+    assert TraversalJournal(FileJournalStorage(path)).state.epoch == 1
+    assert len(FileJournalStorage(path)) == path.stat().st_size

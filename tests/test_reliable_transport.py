@@ -180,3 +180,81 @@ def test_double_install_rejected():
     install(runtime)
     with pytest.raises(SimulationError, match="already installed"):
         install(runtime)
+
+
+# -- coordinator epochs (crash recovery, DESIGN.md §13) -------------------------
+
+
+def test_stale_epoch_frame_is_acked_but_never_delivered():
+    """A frame stamped by a dead coordinator incarnation is fenced: acked at
+    the transport level (the RST-like ack frees the sender's window so stale
+    streams cannot head-of-line-block fresh epoch traffic) but never handed
+    to the coordinator."""
+    runtime, _, coord_inbox = make_runtime()
+    channel, metrics = install(runtime)
+    channel.coordinator_epoch = 1  # the coordinator recovered into epoch 1
+    stale = payload()
+    stale.epoch = 0
+    runtime.deliver_to_coordinator(0, stale)
+    drain(runtime, until=0.05)
+    assert coord_inbox == []
+    counters = metrics.snapshot()["counters"]
+    assert counters.get("coord.fenced{layer=net,type=ExecStatus}", 0) == 1
+    # exactly one send, one ack: no retries, and the window slot is free
+    assert counters["net.acks"] == 1
+    assert not any(k.startswith("net.retries") for k in counters)
+    assert channel.inflight_count == 0
+
+
+def test_current_epoch_frame_passes_the_fence():
+    runtime, _, coord_inbox = make_runtime()
+    channel, metrics = install(runtime)
+    channel.coordinator_epoch = 2
+    msg = payload()
+    msg.epoch = 2
+    runtime.deliver_to_coordinator(0, msg)
+    drain(runtime)
+    assert len(coord_inbox) == 1
+    assert metrics.snapshot()["counters"]["net.acks"] == 1
+
+
+def test_receiver_dedup_key_is_epoch_scoped():
+    """The coordinator-side dedup key is (epoch, attempt, seq): a post-
+    recovery frame reusing a pre-crash sequence number must not be
+    suppressed by the dead epoch's window."""
+    runtime, _, coord_inbox = make_runtime()
+    channel, metrics = install(runtime)
+    msg0 = payload()
+    msg0.epoch = 0
+    channel._on_data(COORDINATOR, DataFrame(1, seq=5, src=0, dst=COORDINATOR, payload=msg0))
+    assert len(coord_inbox) == 1
+    # same epoch + same seq → duplicate, suppressed
+    channel._on_data(COORDINATOR, DataFrame(1, seq=5, src=0, dst=COORDINATOR, payload=msg0))
+    assert len(coord_inbox) == 1
+    assert metrics.snapshot()["counters"]["net.dup_suppressed{type=ExecStatus}"] == 1
+    # crash + recovery: next epoch, same seq → delivered (fresh key space)
+    channel.on_coordinator_crash()
+    channel.coordinator_epoch = 1
+    msg1 = payload()
+    msg1.epoch = 1
+    channel._on_data(COORDINATOR, DataFrame(1, seq=5, src=0, dst=COORDINATOR, payload=msg1))
+    assert len(coord_inbox) == 2
+
+
+def test_coordinator_crash_drops_inflight_and_queued_frames():
+    """While the coordinator host is down no ack can flow; the connection
+    reset drops both in-flight and window-queued frames toward it instead of
+    letting them burn their retry budget against a dead link."""
+    runtime, _, coord_inbox = make_runtime()
+    channel, metrics = install(runtime, window=2)
+    runtime.crash_server(runtime.coordinator_server)
+    for _ in range(5):
+        runtime.deliver_to_coordinator(1, payload())
+    assert coord_inbox == []
+    assert channel.inflight_count >= 1
+    assert channel._queued
+    channel.on_coordinator_crash()
+    assert channel.inflight_count == 0
+    assert not channel._queued
+    counters = metrics.snapshot()["counters"]
+    assert counters["net.inflight_lost{server=-1}"] >= 1
