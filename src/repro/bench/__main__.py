@@ -49,6 +49,7 @@ EXPERIMENTS = {
     "coordinator_recovery": lambda env: exp.exp_coordinator_recovery(env),
     "scheduler": lambda env: exp.exp_scheduler(env),
     "lang_ops": lambda env: exp.exp_lang_ops(env),
+    "telemetry": lambda env: exp.exp_telemetry(env),
 }
 
 

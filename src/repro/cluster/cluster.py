@@ -23,7 +23,7 @@ from repro.cluster.coordinator import Coordinator, CoordinatorConfig
 from repro.cluster.journal import JournalStorage, TraversalJournal
 from repro.cluster.recovery import RecoverySupervisor
 from repro.cluster.server import BackendServer
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UnsupportedProfileTarget
 from repro.faults.plan import FaultPlan
 from repro.graph.builder import PropertyGraph
 from repro.graph.stats import GraphSummary
@@ -34,6 +34,9 @@ from repro.lang.composite import CompositePlan
 from repro.lang.gtravel import GTravel
 from repro.lang.plan import TraversalPlan
 from repro.net.topology import INFINIBAND_QDR, NetworkModel
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.telemetry import TelemetryConfig, TelemetryPlane
+from repro.obs.trace import SamplingPolicy
 from repro.partition.edge_cut import Partitioner, make_partitioner
 from repro.runtime.base import InterferencePolicy
 from repro.runtime.simulated import SimRuntime
@@ -98,6 +101,17 @@ class ClusterConfig:
     journal_storage: Optional[JournalStorage] = None
     #: journal records between compacting checkpoints
     journal_checkpoint_interval: int = 256
+    #: the live telemetry plane (DESIGN.md §14): windowed rollups over the
+    #: metrics registry, per-tenant SLO burn-rate alerting, hot-shard
+    #: detection, and the tail-sampling keep decision. On by default — the
+    #: watcher-based ingestion is cheap and never touches simulated time.
+    telemetry_enabled: bool = True
+    telemetry_config: Optional[TelemetryConfig] = None
+    slo_config: Optional[SLOConfig] = None
+    #: tail-based trace sampling policy (requires ``trace_enabled`` and the
+    #: telemetry plane, which drives the per-traversal keep decision). None =
+    #: legacy behavior: every recorded event is retained.
+    trace_sampling: Optional[SamplingPolicy] = None
 
     def engine_options(self) -> EngineOptions:
         if isinstance(self.engine, EngineOptions):
@@ -304,6 +318,58 @@ class Cluster:
                 runtime, coordinator, scheduler, journal, channel=channel
             )
 
+        # The live telemetry plane (DESIGN.md §14). Wired LAST so its
+        # terminal wrapper is outermost: its logic runs before the
+        # scheduler/supervisor inner chain pops the QoS entry, so tenant and
+        # admission clock are still readable at terminal time.
+        if config.telemetry_enabled:
+            slo = SLOTracker(
+                config.slo_config, metrics=obs.metrics, trace=obs.trace
+            )
+            telemetry = TelemetryPlane(
+                config.telemetry_config,
+                slo=slo,
+                thread_safe=(config.runtime == "threaded"),
+            )
+            if hasattr(runtime, "sim"):
+                # simulated runtime: pull-based windowing — rollup windows
+                # close at kernel clock-boundary crossings by diffing the
+                # registry, so the engines' record paths pay nothing. Only
+                # the SLO rejection feed keeps a (name-filtered) watcher.
+                sim = runtime.sim
+                telemetry.bind_clock(lambda: sim.now)
+                telemetry.install_pull(sim, obs.metrics)
+                obs.metrics.bind_watcher(
+                    telemetry.ingest, names={"sched.rejected"}
+                )
+            else:
+                # threaded runtime: no virtual clock to hook, so every
+                # recording is binned per event via the full watcher
+                telemetry.bind_clock(runtime.context(0).now)
+                obs.metrics.bind_watcher(telemetry.ingest)
+            telemetry.bind_recorder(obs.trace)
+            obs.telemetry = telemetry
+            obs.slo = slo
+            if config.trace_sampling is not None:
+                obs.trace.configure(sampling=config.trace_sampling)
+
+            inner_terminal = coordinator.on_terminal
+
+            def _telemetry_terminal(travel_id: TravelId, status: str) -> None:
+                telemetry.on_terminal(
+                    travel_id, status, entry=scheduler.entry_for(travel_id)
+                )
+                if inner_terminal is not None:
+                    inner_terminal(travel_id, status)
+
+            coordinator.on_terminal = _telemetry_terminal
+
+            def _on_crash(server: ServerId) -> None:
+                if server == config.coordinator_server:
+                    telemetry.on_coordinator_crash()
+
+            runtime.add_crash_listener(_on_crash)
+
         def _collect_storage(metrics) -> None:
             for server in servers:
                 for name, value in server.storage_metrics().items():
@@ -313,6 +379,7 @@ class Cluster:
             metrics.set_gauge("runtime.messages_dropped", runtime.messages_dropped)
             metrics.set_gauge("sched.queue_depth", scheduler.queue_depth)
             metrics.set_gauge("sched.inflight", scheduler.inflight_count)
+            metrics.set_gauge("coord.epoch", coordinator.epoch)
             if journal is not None:
                 metrics.set_gauge("journal.size_bytes", journal.size_bytes())
                 metrics.set_gauge("journal.records", journal.records_appended)
@@ -429,9 +496,90 @@ class Cluster:
         """The cluster-wide :class:`~repro.obs.Observability` instance."""
         return self.board.obs
 
+    @property
+    def telemetry(self):
+        """The live :class:`~repro.obs.telemetry.TelemetryPlane`, or None
+        when built with ``telemetry_enabled=False``."""
+        return self.board.obs.telemetry
+
+    @property
+    def slo(self):
+        """The per-tenant :class:`~repro.obs.slo.SLOTracker`, or None."""
+        return self.board.obs.slo
+
     def metrics_snapshot(self) -> dict:
         """Deterministic metrics snapshot (counters, gauges, histograms)."""
         return self.board.obs.metrics.snapshot()
+
+    def rollups(self) -> dict:
+        """The telemetry plane's windowed rollup payload (empty-shaped
+        payload when telemetry is disabled)."""
+        telemetry = self.board.obs.telemetry
+        if telemetry is None:
+            return {"window_width": 0.0, "max_windows": 0,
+                    "counters": {}, "gauges": {}, "histograms": {}}
+        return telemetry.rollups()
+
+    def alert_log(self) -> list:
+        """Every SLO burn-rate alert transition so far, in order."""
+        slo = self.board.obs.slo
+        return [] if slo is None else slo.alert_log_payload()
+
+    def hot_shard_report(self):
+        """Ranked per-server load skew (rate + in-flight) right now."""
+        telemetry = self.board.obs.telemetry
+        if telemetry is None:
+            raise SimulationError(
+                "hot_shard_report() requires telemetry_enabled=True"
+            )
+        with self.runtime.exclusive(self.config.coordinator_server):
+            inflight = self.coordinator.inflight_by_server()
+        return telemetry.hot_shards(inflight, self.config.nservers)
+
+    def health(self) -> dict:
+        """The JSON health/readiness document: per-server liveness,
+        coordinator epoch, scheduler depths, firing SLO alerts."""
+        from repro.obs.exporter import health_payload
+
+        slo = self.board.obs.slo
+        journal = self.coordinator.journal
+        journal_doc = None
+        if journal is not None:
+            journal_doc = {
+                "size_bytes": journal.size_bytes(),
+                "records": journal.records_appended,
+            }
+        return health_payload(
+            epoch=self.coordinator.epoch,
+            servers_up=[
+                not self.runtime.is_down(s)
+                for s in range(self.config.nservers)
+            ],
+            coordinator_server=self.config.coordinator_server,
+            queue_depth=self.scheduler.queue_depth,
+            inflight=self.scheduler.inflight_count,
+            policy=self.scheduler.policy.name,
+            active_alerts=[] if slo is None else slo.active_alerts(),
+            journal=journal_doc,
+        )
+
+    def health_json(self) -> str:
+        """Canonical byte-stable health document."""
+        import json
+
+        return json.dumps(self.health(), sort_keys=True, separators=(",", ":"))
+
+    def openmetrics(self) -> str:
+        """One OpenMetrics text exposition: the metrics snapshot plus the
+        latest-window rollups and health gauges."""
+        from repro.obs.exporter import render_openmetrics
+
+        telemetry = self.board.obs.telemetry
+        return render_openmetrics(
+            self.metrics_snapshot(),
+            rollups=None if telemetry is None else telemetry.rollups(),
+            health=self.health(),
+        )
 
     def span_timeline(self) -> list[dict]:
         """All recorded traversal spans, ordered by start time."""
@@ -462,7 +610,7 @@ class Cluster:
 
         recorder = self.board.obs.trace
         return assemble_trace(
-            recorder.events(), travel_id, dropped=recorder.dropped
+            recorder.events(), travel_id, dropped=recorder.dropped_for(travel_id)
         )
 
     def trace_payload(self, *, label: Optional[str] = None) -> dict:
@@ -516,9 +664,10 @@ class Cluster:
             # Composite parents fan out into per-child linear traversals; each
             # child is profilable on its own, but the parent has no single
             # step timeline to attribute. Use explain() for the operator tree.
-            raise SimulationError(
-                "profile() supports linear plans only; composite plans "
-                "(repeat/union/back) are inspectable via explain()"
+            raise UnsupportedProfileTarget(
+                kind="composite",
+                hint="use explain() for the operator tree, or profile the "
+                "child plans individually",
             )
         # re-planning here is safe: the planner is pure, so this PlannedQuery
         # matches the one the coordinator derives at submit time
@@ -527,6 +676,10 @@ class Cluster:
             if self.coordinator.planner is not None
             else None
         )
+        # tail sampling must not sample out the profile's own traversal
+        recorder = self.board.obs.trace
+        saved_sampling = recorder.sampling
+        recorder.configure(sampling=None)
         try:
             outcome = self.traverse(plan, cold=cold, limit=limit)
         except TraversalFailed as err:
@@ -535,6 +688,8 @@ class Cluster:
                 dag, plan, spans=self.board.obs.spans, planned=planned
             )
             return None, report
+        finally:
+            recorder.configure(sampling=saved_sampling)
         travel_id = outcome.result.travel_id
         dag = self.trace_dag(travel_id)
         report = profile_traversal(

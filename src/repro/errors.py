@@ -54,6 +54,22 @@ class QueryError(ReproError):
     """Raised when a GTravel query is malformed or cannot be compiled."""
 
 
+class UnsupportedProfileTarget(QueryError):
+    """``profile()`` was asked to run a plan kind it cannot attribute.
+
+    Composite plans (repeat/union/back) fan out into per-child linear
+    traversals; the parent has no single step timeline to profile. Carries
+    the offending plan ``kind`` and a ``hint`` naming the supported
+    alternative (``explain()`` for the operator tree, or profiling the
+    child plans individually).
+    """
+
+    def __init__(self, kind: str, hint: str):
+        super().__init__(f"profile() does not support {kind} plans: {hint}")
+        self.kind = kind
+        self.hint = hint
+
+
 class TraversalError(ReproError):
     """Raised when a distributed traversal fails at execution time."""
 

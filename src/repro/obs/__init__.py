@@ -24,11 +24,20 @@ from repro.obs.explain import (
     explain_plan,
     profile_traversal,
 )
+from repro.obs.exporter import (
+    escape_label_value,
+    health_payload,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from repro.obs.metrics import Histogram, MetricsRegistry, metric_key, render_key
+from repro.obs.slo import SLOAlert, SLOConfig, SLOTracker
 from repro.obs.spans import SPAN_KINDS, Span, SpanTracer
+from repro.obs.telemetry import HotShardReport, TelemetryConfig, TelemetryPlane
 from repro.obs.trace import (
     EVENT_KINDS,
     FlightRecorder,
+    SamplingPolicy,
     TraceEvent,
     TraversalDag,
     assemble_all,
@@ -52,6 +61,10 @@ class Observability:
         self.spans = SpanTracer(enabled=enabled)
         self.trace = FlightRecorder(enabled=False)
         self.trace.bind_metrics(self.metrics)
+        #: the live telemetry plane + SLO tracker, installed by
+        #: ``Cluster.build`` when ``ClusterConfig.telemetry_enabled``
+        self.telemetry = None
+        self.slo = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self.spans.bind_clock(clock)
@@ -72,6 +85,17 @@ __all__ = [
     "Span",
     "SPAN_KINDS",
     "FlightRecorder",
+    "SamplingPolicy",
+    "TelemetryPlane",
+    "TelemetryConfig",
+    "HotShardReport",
+    "SLOTracker",
+    "SLOConfig",
+    "SLOAlert",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "escape_label_value",
+    "health_payload",
     "TraceEvent",
     "TraversalDag",
     "EVENT_KINDS",

@@ -77,11 +77,47 @@ EVENT_KINDS = (
     "sched.launch",
     "sched.reject",
     "sched.cancel",
+    # telemetry plane (repro.obs.slo): a burn-rate alert transition
+    # (firing/resolved) — an instant on the coordinator row
+    "slo.alert",
 )
 
 #: default ring-buffer capacity — generous: a fig-scale traversal records
 #: tens of thousands of events, chaos soaks a few hundred thousand
 DEFAULT_MAX_EVENTS = 500_000
+
+
+#: configure(...) sentinel: "leave the sampling policy unchanged"
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Tail-based sampling: which *completed-ok* traversals keep their full
+    trace (failed / cancelled / slow / alert-matching traversals are always
+    kept — those rules live in the telemetry plane's keep decision; this
+    policy only contributes the seeded deterministic 1-in-N complement).
+
+    With a policy installed the recorder buffers each traversal's events
+    per travel id and commits or discards the whole buffer at the
+    traversal's terminal decision — so tracing can be left **on** at bench
+    scale without retaining every healthy traversal's events.
+    """
+
+    #: keep one in N completed-ok traversals (0 = none beyond the always-keep
+    #: rules, 1 = all)
+    sample_every_n: int = 16
+    #: decision seed — a pure function of (travel_id, seed, N)
+    seed: int = 0
+
+    def sampled(self, travel_id: int) -> bool:
+        if self.sample_every_n <= 0:
+            return False
+        if self.sample_every_n == 1:
+            return True
+        return (
+            travel_id * 2654435761 + self.seed * 40503
+        ) % self.sample_every_n == 0
 
 
 def sync_exec_id(attempt: int, level: int, server: int) -> int:
@@ -138,8 +174,17 @@ class FlightRecorder:
         self.enabled = enabled
         self.max_events = max_events
         self.dropped = 0
+        #: tail sampling policy; None = retain everything (legacy behavior)
+        self.sampling: Optional[SamplingPolicy] = None
+        #: events discarded by a sample-out decision (not ring evictions)
+        self.sampled_out = 0
         self._clock: Callable[[], float] = lambda: 0.0
         self._events: deque[TraceEvent] = deque()
+        #: per-travel buffers awaiting their terminal keep/drop decision
+        self._pending: dict[int, list[TraceEvent]] = {}
+        #: travel id → (keep, reason) once decided
+        self._decisions: dict[int, tuple[bool, Optional[str]]] = {}
+        self._dropped_by_travel: dict[Optional[int], int] = {}
         self._seq = itertools.count(1)
         self._metrics = None
         self._lock = threading.Lock()
@@ -153,16 +198,25 @@ class FlightRecorder:
         self._metrics = metrics
 
     def configure(
-        self, enabled: Optional[bool] = None, max_events: Optional[int] = None
+        self,
+        enabled: Optional[bool] = None,
+        max_events: Optional[int] = None,
+        sampling: Any = _UNSET,
     ) -> None:
         if enabled is not None:
             self.enabled = enabled
+        if sampling is not _UNSET:
+            self.sampling = sampling
         if max_events is not None:
             self.max_events = max_events
             with self._lock:
                 while len(self._events) > self.max_events:
-                    self._events.popleft()
-                    self._note_drop()
+                    evicted = self._events.popleft()
+                    self._note_drop(evicted.travel_id)
+
+    @property
+    def sampling_active(self) -> bool:
+        return self.enabled and self.sampling is not None
 
     # -- recording -----------------------------------------------------------
 
@@ -192,15 +246,75 @@ class FlightRecorder:
                 attempt=attempt,
                 attrs=attrs,
             )
+            if self.sampling is not None and travel_id is not None:
+                decision = self._decisions.get(travel_id)
+                if decision is None:
+                    # undecided: buffer until the traversal's terminal
+                    self._pending.setdefault(travel_id, []).append(event)
+                    return
+                if not decision[0]:
+                    self.sampled_out += 1
+                    return
             self._events.append(event)
             if len(self._events) > self.max_events:
-                self._events.popleft()
-                self._note_drop()
+                evicted = self._events.popleft()
+                self._note_drop(evicted.travel_id)
 
-    def _note_drop(self) -> None:
-        self.dropped += 1
+    def finalize_travel(
+        self, travel_id: int, keep: bool, reason: Optional[str] = None
+    ) -> None:
+        """Commit (``keep=True``) or discard one traversal's buffered events.
+
+        The tail-sampling decision point: called at the traversal's terminal
+        by the telemetry plane, once the outcome (failed / slow / sampled /
+        healthy) is known. Late events for a decided traversal follow the
+        decision directly.
+        """
+        with self._lock:
+            buffered = self._pending.pop(travel_id, [])
+            self._decisions[travel_id] = (keep, reason)
+            if keep:
+                self._events.extend(buffered)
+                while len(self._events) > self.max_events:
+                    evicted = self._events.popleft()
+                    self._note_drop(evicted.travel_id)
+            else:
+                self.sampled_out += len(buffered)
         if self._metrics is not None:
-            self._metrics.count("trace.dropped_events")
+            if keep:
+                self._metrics.count(
+                    "trace.kept_traces", reason=reason or "unspecified"
+                )
+            else:
+                self._metrics.count("trace.sampled_out_traces")
+                self._metrics.count("trace.sampled_out_events", len(buffered))
+
+    def keep_all_pending(self, reason: str) -> None:
+        """Commit every undecided traversal's buffer (coordinator crash: the
+        outcome of in-flight traversals is about to be decided by recovery —
+        retain their history)."""
+        for tid in sorted(self._pending):
+            self.finalize_travel(tid, keep=True, reason=reason)
+
+    def _note_drop(self, travel_id: Optional[int] = None) -> None:
+        # callers hold self._lock; trace.dropped_events never routes back
+        # into the recorder, so the metrics call is re-entrancy safe
+        self.dropped += 1
+        self._dropped_by_travel[travel_id] = (
+            self._dropped_by_travel.get(travel_id, 0) + 1
+        )
+        if self._metrics is not None:
+            # label value must always be a str: mixed int/str label values
+            # would break the snapshot's sorted-key rendering
+            label = str(travel_id) if travel_id is not None else "untracked"
+            self._metrics.count("trace.dropped_events", travel_id=label)
+
+    def dropped_for(self, travel_id: Optional[int]) -> int:
+        """Ring evictions attributable to one traversal (plus the untracked
+        evictions, which could have belonged to any traversal)."""
+        return self._dropped_by_travel.get(travel_id, 0) + (
+            self._dropped_by_travel.get(None, 0) if travel_id is not None else 0
+        )
 
     @property
     def truncated(self) -> bool:
@@ -208,25 +322,35 @@ class FlightRecorder:
 
     # -- reading -------------------------------------------------------------
 
+    def _view(self) -> list[TraceEvent]:
+        """Committed ring plus still-pending buffers, in record order."""
+        if not self._pending:
+            return list(self._events)
+        merged = list(self._events)
+        for buffered in self._pending.values():
+            merged.extend(buffered)
+        merged.sort(key=lambda e: e.seq)
+        return merged
+
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._events) + sum(len(b) for b in self._pending.values())
 
     def events(self) -> list[TraceEvent]:
-        return list(self._events)
+        return self._view()
 
     def events_for(self, travel_id: int) -> list[TraceEvent]:
-        return [e for e in self._events if e.travel_id == travel_id]
+        return [e for e in self._view() if e.travel_id == travel_id]
 
     def travel_ids(self) -> list[int]:
         """Travel ids with at least one recorded event, in first-seen order."""
         seen: dict[int, None] = {}
-        for e in self._events:
+        for e in self._view():
             if e.travel_id is not None:
                 seen.setdefault(e.travel_id, None)
         return list(seen)
 
     def timeline(self) -> list[dict[str, Any]]:
-        return [e.as_dict() for e in self._events]
+        return [e.as_dict() for e in self._view()]
 
     def to_json(self) -> str:
         return json.dumps(self.timeline(), sort_keys=True, separators=(",", ":"))
@@ -234,7 +358,11 @@ class FlightRecorder:
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+            self._pending.clear()
+            self._decisions.clear()
+            self._dropped_by_travel.clear()
             self.dropped = 0
+            self.sampled_out = 0
 
 
 # -- DAG reconstruction ------------------------------------------------------
@@ -549,7 +677,7 @@ def assemble_all(recorder: FlightRecorder, *, verify: bool = True) -> list[Trave
     """One DAG per traversal that left records in ``recorder``."""
     events = recorder.events()
     return [
-        assemble_trace(events, tid, dropped=recorder.dropped, verify=verify)
+        assemble_trace(events, tid, dropped=recorder.dropped_for(tid), verify=verify)
         for tid in recorder.travel_ids()
     ]
 
@@ -610,7 +738,7 @@ def chrome_trace(
     dags = {
         d.travel_id: d
         for d in (
-            assemble_trace(events, tid, dropped=recorder.dropped, verify=False)
+            assemble_trace(events, tid, dropped=recorder.dropped_for(tid), verify=False)
             for tid in recorder.travel_ids()
         )
     }

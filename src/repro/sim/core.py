@@ -267,6 +267,28 @@ class Simulator:
         self._running = False
         #: (process name, exception) of processes that crashed with no waiter
         self.orphan_failures: list[tuple[str, BaseException]] = []
+        # boundary watcher: fn(now) runs when the clock first reaches the
+        # threshold and returns the next threshold (inf = stop). Costs one
+        # float compare per processed event — the telemetry plane uses it to
+        # close rollup windows without any per-record work.
+        self._boundary: float = float("inf")
+        self._on_boundary: Optional[Callable[[float], float]] = None
+
+    def set_boundary_watcher(
+        self, fn: Optional[Callable[[float], float]], threshold: float = float("inf")
+    ) -> None:
+        """Install (or clear, with ``None``) the clock-boundary hook.
+
+        ``fn(now)`` fires *before* the callback scheduled at ``now`` runs, so
+        everything recorded strictly earlier is already settled; it returns
+        the next threshold to watch for.
+        """
+        self._on_boundary = fn
+        self._boundary = float("inf") if fn is None else threshold
+
+    def _check_boundary(self, t: float) -> None:
+        while t >= self._boundary:
+            self._boundary = self._on_boundary(t)
 
     # -- scheduling ----------------------------------------------------
 
@@ -321,6 +343,8 @@ class Simulator:
                 if t < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event heap time went backwards")
                 self.now = t
+                if t >= self._boundary:
+                    self._check_boundary(t)
                 fn()
                 processed += 1
                 if max_events and processed >= max_events:
@@ -357,6 +381,8 @@ class Simulator:
                     f"time limit {limit} passed before {event.name!r} triggered"
                 )
             self.now = t
+            if t >= self._boundary:
+                self._check_boundary(t)
             fn()
         return event.value
 

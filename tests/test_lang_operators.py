@@ -461,12 +461,14 @@ def test_explain_off_mode_has_no_estimate():
 
 
 def test_profile_rejects_composites_with_a_clear_error():
-    from repro.errors import SimulationError
+    from repro.errors import UnsupportedProfileTarget
 
     g = ring_graph(6)
     cluster = build_cluster(g, EngineKind.GRAPHTREK)
-    with pytest.raises(SimulationError, match="composite"):
+    with pytest.raises(UnsupportedProfileTarget, match="composite") as exc:
         cluster.profile(GTravel.v(0).union(GTravel.s().e("a")))
+    assert exc.value.kind == "composite"
+    assert "explain()" in exc.value.hint
 
 
 # -- threaded runtime parity --------------------------------------------------

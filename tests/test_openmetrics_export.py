@@ -1,0 +1,160 @@
+"""OpenMetrics export, the exposition linter, and the health document."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind
+from repro.graph import GraphBuilder
+from repro.lang import GTravel
+from repro.obs.exporter import (
+    escape_label_value,
+    health_payload,
+    metric_name,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from tests.conftest import ALL_ENGINES, build_cluster
+
+
+def small_graph():
+    b = GraphBuilder()
+    vids = [b.vertex("n") for _ in range(16)]
+    for i in range(15):
+        b.edge(vids[i], vids[i + 1], "link")
+    return b.build(), vids
+
+
+# -- label escaping (the PR-1 exporter gap) -----------------------------------
+
+
+def test_label_values_are_escaped_on_the_export_boundary():
+    registry = MetricsRegistry()
+    hostile = 'say "hi"\\now\nplease'
+    registry.count("client.errors", reason=hostile)
+    text = render_openmetrics(registry.snapshot())
+    assert validate_openmetrics(text) == []
+    (line,) = [l for l in text.splitlines() if l.startswith("client_errors")]
+    assert r'reason="say \"hi\"\\now\nplease"' in line
+    # the registry's own snapshot rendering stays raw — escaping is strictly
+    # an export-boundary concern, so snapshot bytes cannot shift
+    assert f"client.errors{{reason={hostile}}}" in registry.snapshot()["counters"]
+
+
+def test_escape_label_value_covers_the_three_escapes():
+    assert escape_label_value('a"b') == r"a\"b"
+    assert escape_label_value("a\\b") == r"a\\b"
+    assert escape_label_value("a\nb") == r"a\nb"
+    assert escape_label_value(7) == "7"
+
+
+def test_unescaped_quote_fails_the_linter():
+    bad = '# TYPE x gauge\nx{l="a"b"} 1\n# EOF\n'
+    assert any("label block" in p for p in validate_openmetrics(bad))
+
+
+def test_linter_rejects_structural_problems():
+    assert validate_openmetrics("") == ["document is empty"]
+    assert any(
+        "# EOF" in p for p in validate_openmetrics("# TYPE x gauge\nx 1\n")
+    )
+    assert any(
+        "no preceding TYPE" in p for p in validate_openmetrics("x 1\n# EOF\n")
+    )
+    assert any(
+        "_total" in p
+        for p in validate_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+    )
+    assert any(
+        "non-numeric" in p
+        for p in validate_openmetrics("# TYPE x gauge\nx nope\n# EOF\n")
+    )
+
+
+def test_metric_name_maps_dotted_names_into_grammar():
+    assert metric_name("coord.submitted") == "coord_submitted"
+    assert metric_name("9lives") == "_9lives"
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def test_counters_histograms_and_rollups_render_with_types():
+    registry = MetricsRegistry()
+    registry.count("coord.submitted", 3)
+    registry.observe("exec.latency", 0.5, server=1)
+    snapshot = registry.snapshot()
+    rollups = {
+        "counters": {
+            "coord.submitted": [{"window": 4, "count": 3, "rate": 12.0}]
+        }
+    }
+    health = health_payload(
+        epoch=2, servers_up=[True, False], coordinator_server=0,
+        queue_depth=1, inflight=2, policy="fifo", active_alerts=[],
+    )
+    text = render_openmetrics(snapshot, rollups=rollups, health=health)
+    assert validate_openmetrics(text) == []
+    assert "# TYPE coord_submitted counter" in text
+    assert "coord_submitted_total 3" in text
+    assert 'exec_latency{server="1",quantile="0.95"} 0.5' in text
+    assert 'rollup_coord_submitted_rate{window="4"} 12' in text
+    assert 'health_server_up{server="1"} 0' in text
+    assert "health_coordinator_epoch 2" in text
+    assert text.endswith("# EOF\n")
+
+
+# -- cluster-level export determinism -----------------------------------------
+
+
+@pytest.mark.parametrize("kind", ALL_ENGINES)
+def test_cluster_export_is_byte_identical_across_reruns(kind):
+    def run():
+        graph, vids = small_graph()
+        cluster = build_cluster(graph, kind, nservers=3)
+        cluster.traverse(GTravel.v(vids[0]).e("link").e("link"))
+        return cluster.openmetrics(), cluster.health_json()
+
+    first, second = run(), run()
+    assert first == second
+    assert validate_openmetrics(first[0]) == []
+
+
+# -- health -------------------------------------------------------------------
+
+
+def test_health_reports_ok_then_degrades_on_crash():
+    graph, vids = small_graph()
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK, nservers=3)
+    cluster.traverse(GTravel.v(vids[0]).e("link"))
+    doc = cluster.health()
+    assert doc["status"] == "ok"
+    assert [s["server"] for s in doc["servers"]] == [0, 1, 2]
+    assert doc["servers"][0]["coordinator_host"] is True
+    assert doc["scheduler"]["queue_depth"] == 0
+    assert doc["alerts"] == []
+    cluster.runtime.crash_server(2)
+    doc = cluster.health()
+    assert doc["status"] == "degraded"
+    assert doc["servers"][2]["up"] is False
+    assert json.loads(cluster.health_json()) == doc
+
+
+def test_health_includes_journal_doc_when_journaling():
+    graph, vids = small_graph()
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK, nservers=2, journal=True)
+    cluster.traverse(GTravel.v(vids[0]).e("link"))
+    doc = cluster.health()
+    assert doc["journal"]["records"] > 0
+    assert doc["journal"]["size_bytes"] > 0
+
+
+def test_health_payload_degrades_on_firing_alerts():
+    doc = health_payload(
+        epoch=0, servers_up=[True], coordinator_server=0, queue_depth=0,
+        inflight=0, policy="fifo",
+        active_alerts=[{"tenant": "a", "objective": "errors"}],
+    )
+    assert doc["status"] == "degraded" and doc["alerts"]

@@ -1,0 +1,233 @@
+"""Windowed rollups, pull-mode flushing, and hot-shard detection."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind
+from repro.lang import GTravel
+from repro.obs.metrics import MetricsRegistry, metric_key
+from repro.obs.telemetry import (
+    EXEC_RATE_METRIC,
+    HotShardReport,
+    TelemetryConfig,
+    TelemetryPlane,
+)
+from tests.conftest import ALL_ENGINES, build_cluster
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def make_plane(**cfg):
+    clock = FakeClock()
+    plane = TelemetryPlane(TelemetryConfig(**cfg))
+    plane.bind_clock(clock)
+    return plane, clock
+
+
+# -- per-record (push) windowing ----------------------------------------------
+
+
+def test_counters_bin_into_clock_windows_with_rates():
+    plane, clock = make_plane(window_width=1.0)
+    key = metric_key("coord.submitted", {})
+    plane.ingest("counter", key, 2)
+    clock.t = 0.9
+    plane.ingest("counter", key, 1)
+    clock.t = 2.5  # skips window 1 entirely
+    plane.ingest("counter", key, 4)
+    windows = plane.rollups()["counters"]["coord.submitted"]
+    assert [(w["window"], w["count"], w["rate"]) for w in windows] == [
+        (0, 3, 3.0),
+        (2, 4, 4.0),
+    ]
+    assert windows[0]["start"] == 0.0 and windows[1]["start"] == 2.0
+
+
+def test_window_ring_is_bounded_and_evicts_oldest():
+    plane, clock = make_plane(window_width=1.0, max_windows=4)
+    key = metric_key("x", {})
+    for w in range(10):
+        clock.t = float(w)
+        plane.ingest("counter", key, 1)
+    windows = plane.rollups()["counters"]["x"]
+    assert [w["window"] for w in windows] == [6, 7, 8, 9]
+
+
+def test_gauges_keep_last_sample_per_window():
+    plane, clock = make_plane(window_width=1.0)
+    key = metric_key("depth", {})
+    plane.ingest("gauge", key, 5)
+    plane.ingest("gauge", key, 7)
+    clock.t = 1.5
+    plane.ingest("gauge", key, 2)
+    windows = plane.rollups()["gauges"]["depth"]
+    assert [(w["window"], w["last"]) for w in windows] == [(0, 7), (1, 2)]
+
+
+def test_histogram_windows_summarize_with_bounded_samples():
+    plane, clock = make_plane(window_width=1.0, max_samples_per_window=3)
+    key = metric_key("lat", {})
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+        plane.ingest("hist", key, v)
+    (row,) = plane.rollups()["histograms"]["lat"]
+    # first-N retention: 3 samples kept, 2 counted as overflow, never lost
+    assert row["count"] == 3 and row["overflow"] == 2
+    assert row["p50"] == 2.0
+
+
+def test_recent_rate_spans_retained_windows():
+    plane, clock = make_plane(window_width=0.5)
+    key = metric_key("hits", {"server": 1})
+    plane.ingest("counter", key, 3)
+    clock.t = 1.0  # window 2: span covers windows 0..2
+    plane.ingest("counter", key, 3)
+    assert plane.recent_rate("hits", server=1) == pytest.approx(6 / 1.5)
+    assert plane.recent_rate("hits", server=9) == 0.0
+
+
+def test_clear_resets_all_series():
+    plane, _clock = make_plane()
+    plane.ingest("counter", metric_key("x", {}), 1)
+    plane.clear()
+    payload = plane.rollups()
+    assert payload["counters"] == {} and payload["histograms"] == {}
+
+
+# -- pull mode (simulated runtime boundary flushes) ---------------------------
+
+
+def small_graph():
+    from repro.graph import GraphBuilder
+
+    b = GraphBuilder()
+    vids = [b.vertex("n") for _ in range(24)]
+    for i in range(23):
+        b.edge(vids[i], vids[i + 1], "link")
+        b.edge(vids[i], vids[(i * 7) % 24], "link")
+    return b.build(), vids
+
+
+def test_pull_mode_window_totals_match_registry_totals():
+    graph, vids = small_graph()
+    cluster = build_cluster(graph, EngineKind.GRAPHTREK, nservers=3)
+    cluster.traverse(GTravel.v(vids[0]).e("link").e("link").e("link"))
+    rollups = cluster.rollups()
+    snapshot = cluster.metrics_snapshot()
+    assert rollups["counters"], "pull mode produced no counter windows"
+    for rendered, windows in rollups["counters"].items():
+        # every counter recorded after build flushes exactly once per window:
+        # the windowed total must reconcile with the cumulative snapshot
+        assert sum(w["count"] for w in windows) == pytest.approx(
+            snapshot["counters"][rendered]
+        ), rendered
+
+
+def test_pull_mode_is_deterministic_across_reruns():
+    def run():
+        graph, vids = small_graph()
+        cluster = build_cluster(graph, EngineKind.ASYNC, nservers=3)
+        cluster.traverse(GTravel.v(vids[0]).e("link").e("link"))
+        return cluster.telemetry.rollups_json()
+
+    assert run() == run()
+
+
+def test_registry_snapshot_bytes_unaffected_by_telemetry():
+    """The tentpole's non-negotiable: turning the plane on must not change
+    one byte of the registry's own snapshot."""
+    graph, vids = small_graph()
+    plan = GTravel.v(vids[0]).e("link").e("link")
+
+    def run(enabled):
+        cluster = build_cluster(
+            graph, EngineKind.GRAPHTREK, nservers=3, telemetry_enabled=enabled
+        )
+        cluster.traverse(plan)
+        return cluster.board.obs.metrics.to_json()
+
+    assert run(True) == run(False)
+
+
+def test_threaded_runtime_uses_per_record_windowing():
+    graph, vids = small_graph()
+    cluster = build_cluster(
+        graph, EngineKind.GRAPHTREK, nservers=2, runtime="threaded"
+    )
+    try:
+        cluster.traverse(GTravel.v(vids[0]).e("link").e("link"))
+        rollups = cluster.rollups()
+        # structural smoke only: threaded timing is not deterministic, but
+        # the watcher feed must still produce windows for the hot counters
+        assert any(
+            rendered.startswith(EXEC_RATE_METRIC)
+            for rendered in rollups["counters"]
+        )
+    finally:
+        cluster.shutdown()
+
+
+# -- hot-shard detection ------------------------------------------------------
+
+
+def test_hot_shard_ranking_scores_and_threshold():
+    plane, clock = make_plane(window_width=1.0)
+    # server 0 does 6x the work of servers 1..2 and holds all the in-flight
+    for _ in range(12):
+        plane.ingest("counter", metric_key(EXEC_RATE_METRIC, {"server": 0}), 1)
+    for s in (1, 2):
+        for _ in range(2):
+            plane.ingest(
+                "counter", metric_key(EXEC_RATE_METRIC, {"server": s}), 1
+            )
+    report = plane.hot_shards({0: 4, 1: 0, 2: 0}, nservers=3)
+    assert isinstance(report, HotShardReport)
+    assert report.ranked == [0, 1, 2] and report.hottest == 0
+    # rate share 12/16 vs mean 16/3 -> 2.25x; inflight 4 vs mean 4/3 -> 3x
+    assert report.servers[0]["score"] == pytest.approx(2.25 + 3.0)
+    assert report.hot == [0]
+
+
+def test_uniform_load_is_never_hot():
+    plane, clock = make_plane()
+    for s in range(4):
+        plane.ingest("counter", metric_key(EXEC_RATE_METRIC, {"server": s}), 5)
+    report = plane.hot_shards({s: 1 for s in range(4)}, nservers=4)
+    # uniform load scores w_rate + w_inflight = 2.0 < threshold everywhere
+    assert report.hot == []
+    assert all(r["score"] == pytest.approx(2.0) for r in report.servers)
+    assert report.ranked == [0, 1, 2, 3]  # deterministic tie-break
+
+
+@pytest.mark.parametrize("kind", ALL_ENGINES)
+def test_cluster_hot_shard_report_ranks_the_loaded_server(kind):
+    graph, vids = small_graph()
+    cluster = build_cluster(graph, kind, nservers=3)
+    # pin every real visit on one server: starts owned by it, bogus label
+    # means no expansion ever leaves it
+    owner = cluster.partitioner.owner(vids[0])
+    mine = [v for v in vids if cluster.partitioner.owner(v) == owner]
+    for v in mine[:8]:
+        cluster.traverse(GTravel.v(v).e("__no_such_label__"), cold=False)
+    report = cluster.hot_shard_report()
+    assert report.hottest == owner
+    assert report.to_json() == cluster.hot_shard_report().to_json()
+
+
+def test_hot_shard_report_requires_telemetry():
+    from repro.errors import SimulationError
+
+    graph, vids = small_graph()
+    cluster = build_cluster(
+        graph, EngineKind.SYNC, nservers=2, telemetry_enabled=False
+    )
+    assert cluster.telemetry is None
+    with pytest.raises(SimulationError):
+        cluster.hot_shard_report()
+    # rollups degrade to an empty-shaped payload instead of raising
+    assert cluster.rollups()["counters"] == {}
