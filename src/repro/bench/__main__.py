@@ -50,6 +50,7 @@ EXPERIMENTS = {
     "scheduler": lambda env: exp.exp_scheduler(env),
     "lang_ops": lambda env: exp.exp_lang_ops(env),
     "telemetry": lambda env: exp.exp_telemetry(env),
+    "rebalance": lambda env: exp.exp_rebalance(env),
 }
 
 

@@ -1388,3 +1388,216 @@ def exp_telemetry(
         "hot_shard": shard_report.to_payload(),
     }
     return ExperimentResult("telemetry", [], rendered, checks, extra=extra)
+
+
+# -- elastic scale-out ablation -----------------------------------------------
+
+
+def exp_rebalance(
+    env: Optional[BenchEnvironment] = None,
+    *,
+    nservers: int = 4,
+    pinned: int = 16,
+    interactive: int = 24,
+    p99_tolerance: float = 1.25,
+) -> ExperimentResult:
+    """Online shard-rebalancing ablation (DESIGN.md §15).
+
+    A workload hot-spotted onto one server (no-match edge labels pin every
+    real visit on the start vertex's owner) concentrates essentially all
+    execution there. Four claims against a static twin of the same cluster:
+
+    * **Detection & selection** — the hot-shard report ranks the loaded
+      server first and ``select_migration`` picks it as the source.
+    * **Skew reduction** — re-running the pinned workload after one
+      telemetry-driven migration spreads its visits across two owners: the
+      hot server's visit share and the per-server skew (max/mean) both drop
+      versus the static cluster.
+    * **Interactive p99 unharmed** — migration traffic rides the scheduler
+      as a low-weight ``rebalance`` tenant under weighted-fair queueing, so
+      interactive latency *including queue wait* stays within
+      ``p99_tolerance`` of the migration-free baseline.
+    * **Answers unchanged** — the interactive queries racing the migration
+      return exactly the static cluster's result sets, and the migration
+      finishes ``done`` with zero leaked protocol state.
+    """
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.engine.options import graphtrek_options
+    from repro.obs.telemetry import EXEC_RATE_METRIC
+    from repro.rebalance import MigrationConfig, select_migration
+    from repro.sched import SchedulerConfig
+
+    env = env or BenchEnvironment.from_env()
+    graph = harness.rmat1_graph(env.scale, env.edge_factor, env.seed)
+    sched_config = SchedulerConfig(
+        max_inflight=2,
+        tenant_weights={"interactive": 4.0, "rebalance": 0.5},
+    )
+
+    def build():
+        return Cluster.build(
+            graph,
+            ClusterConfig(
+                nservers=nservers,
+                engine=graphtrek_options(scheduler="wfq"),
+                scheduler_config=sched_config,
+                migration=MigrationConfig(chunk_vertices=8, dual_window=0.01),
+                journal=True,
+            ),
+        )
+
+    def per_server_visits(cluster):
+        counters = cluster.metrics_snapshot().get("counters", {})
+        return {
+            s: counters.get(f"{EXEC_RATE_METRIC}{{server={s}}}", 0)
+            for s in range(nservers)
+        }
+
+    def visit_split(cluster, plans, hot):
+        before = per_server_visits(cluster)
+        cluster.traverse_many(plans, cold=False)
+        after = per_server_visits(cluster)
+        delta = {s: after[s] - before[s] for s in range(nservers)}
+        total = max(1, sum(delta.values()))
+        skew = max(delta.values()) / (total / nservers)
+        return delta, skew, delta[hot] / total
+
+    hot = 1
+    interactive_plans = [
+        harness.kstep_plan(env, 4, pick=3 + i) for i in range(interactive)
+    ]
+    qos = [{"tenant": "interactive"}] * interactive
+
+    # -- static leg: the baseline twin (no migration ever starts) -----------
+    static = build()
+    pinned_vids = [
+        v
+        for v in sorted(graph.vertex_ids())
+        if static.routing.owner(v) == hot
+    ][:pinned]
+    pinned_plans = [
+        GTravel.v(v).e("__rebalance_hotspot__") for v in pinned_vids
+    ]
+    _, skew_static, share_static = visit_split(static, pinned_plans, hot)
+    outcomes_static = static.traverse_many(
+        interactive_plans, cold=False, qos=qos
+    )
+    lat_static = [o.stats.elapsed for o in outcomes_static]
+    results_static = [sorted(o.result.vertices) for o in outcomes_static]
+    p99_static = float(np.percentile(lat_static, 99))
+    static.shutdown()
+
+    # -- live leg: same heat, interactive workload racing one telemetry-
+    # driven migration --------------------------------------------------------
+    live = build()
+    live.traverse_many(pinned_plans, cold=False)  # heat the detector
+    report_before = live.hot_shard_report()
+    # loads weighted by what is actually hot — the pinned range — so the
+    # selector migrates half of the hot range rather than the whole thing
+    # (moving it wholesale would just relocate the hot spot)
+    loads = {
+        s.server_id: [
+            v for v in pinned_vids if live.routing.owner(v) == s.server_id
+        ]
+        for s in live.servers
+    }
+    choice = select_migration(
+        report_before, loads, require_hot=False, fraction=0.5
+    )
+    half = interactive // 2
+    events = [
+        live.submit(p, tenant="interactive")[1]
+        for p in interactive_plans[:half]
+    ]
+    _, mig_event = live.rebalance(
+        choice.src, choice.dst, vids=choice.vids, wait=False
+    )
+    events += [
+        live.submit(p, tenant="interactive")[1]
+        for p in interactive_plans[half:]
+    ]
+    outcomes_live = [live.runtime.run_until_complete(e) for e in events]
+    state = live.runtime.run_until_complete(mig_event)
+    lat_live = [o.stats.elapsed for o in outcomes_live]
+    results_live = [sorted(o.result.vertices) for o in outcomes_live]
+    p99_live = float(np.percentile(lat_live, 99))
+    _, skew_after, share_after = visit_split(live, pinned_plans, hot)
+    leaks = live.migrator.leaked_state()
+    dual_left = live.routing.dual_count
+    live.shutdown()
+
+    checks = [
+        ShapeCheck(
+            "hot_shard_detected_and_selected",
+            report_before.hottest == hot and choice.src == hot,
+            f"hot-spotted server {hot}: ranked={report_before.ranked}, "
+            f"selected source={choice.src} -> target={choice.dst} "
+            f"({len(choice.vids)} vertices)",
+        ),
+        ShapeCheck(
+            "post_migration_skew_reduced",
+            skew_after < skew_static and share_after < share_static,
+            f"pinned-workload visit skew (max/mean) {skew_static:.2f} -> "
+            f"{skew_after:.2f}; hot server's visit share "
+            f"{share_static * 100:.0f}% -> {share_after * 100:.0f}%",
+        ),
+        ShapeCheck(
+            "interactive_p99_unharmed_under_wfq",
+            p99_live <= p99_static * p99_tolerance,
+            f"interactive p99 incl. queue wait: static "
+            f"{report.fmt_time(p99_static)} vs with-migration "
+            f"{report.fmt_time(p99_live)} (tolerance x{p99_tolerance})",
+        ),
+        ShapeCheck(
+            "migration_changes_no_answers",
+            results_live == results_static,
+            f"all {interactive} interactive result sets identical with and "
+            "without the concurrent migration",
+        ),
+        ShapeCheck(
+            "migration_done_zero_leaks",
+            state.phase == "done" and not leaks and dual_left == 0,
+            f"terminal phase {state.phase}; leaked={leaks or 'nothing'}; "
+            f"dual-routed remaining={dual_left}",
+        ),
+    ]
+    rows = {
+        "hot server / visit share": f"{hot} / {share_static * 100:.0f}%",
+        "selected move": (
+            f"{len(choice.vids)} vertices {choice.src} -> {choice.dst}"
+        ),
+        "visit skew (static -> rebalanced)": (
+            f"{skew_static:.2f} -> {skew_after:.2f}"
+        ),
+        "hot visit share (static -> rebalanced)": (
+            f"{share_static * 100:.0f}% -> {share_after * 100:.0f}%"
+        ),
+        "interactive p99 (static)": report.fmt_time(p99_static),
+        "interactive p99 (with migration)": report.fmt_time(p99_live),
+        "migration": (
+            f"{state.phase}: {state.chunks_applied} chunks, "
+            f"{state.bytes_moved} bytes, {state.resends} resends"
+        ),
+    }
+    rendered = report.kv_table(
+        f"Elastic scale-out — hot-spotted workload on {nservers} servers "
+        f"(scale {env.scale}, wfq, rebalance tenant weight 0.5)",
+        rows,
+    )
+    extra = {
+        "hot_server": hot,
+        "choice": {
+            "src": choice.src,
+            "dst": choice.dst,
+            "vertices": len(choice.vids),
+        },
+        "skew_static": skew_static,
+        "skew_after": skew_after,
+        "share_static": share_static,
+        "share_after": share_after,
+        "p99_static": p99_static,
+        "p99_with_migration": p99_live,
+        "migration": state.payload(),
+        "hot_shard_report": report_before.to_payload(),
+    }
+    return ExperimentResult("rebalance", [], rendered, checks, extra=extra)

@@ -23,12 +23,13 @@ from repro.cluster.coordinator import Coordinator, CoordinatorConfig
 from repro.cluster.journal import JournalStorage, TraversalJournal
 from repro.cluster.recovery import RecoverySupervisor
 from repro.cluster.server import BackendServer
-from repro.errors import SimulationError, UnsupportedProfileTarget
+from repro.errors import SimulationError, TelemetryDisabled, UnsupportedProfileTarget
 from repro.faults.plan import FaultPlan
 from repro.graph.builder import PropertyGraph
 from repro.graph.stats import GraphSummary
 from repro.lang.optimizer import QueryPlanner
 from repro.ids import COORDINATOR, ServerId, TravelId
+from repro.net.message import MigrateAck, MigrateChunk
 from repro.net.reliable import ReliableChannel, ReliableConfig
 from repro.lang.composite import CompositePlan
 from repro.lang.gtravel import GTravel
@@ -38,6 +39,9 @@ from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.telemetry import TelemetryConfig, TelemetryPlane
 from repro.obs.trace import SamplingPolicy
 from repro.partition.edge_cut import Partitioner, make_partitioner
+from repro.rebalance.migrate import MigrationConfig, ShardMigrator
+from repro.rebalance.policy import Rebalancer, RebalancerConfig
+from repro.rebalance.routing import RoutingTable
 from repro.runtime.base import InterferencePolicy
 from repro.runtime.simulated import SimRuntime
 from repro.sched.scheduler import SchedulerConfig, TraversalScheduler
@@ -112,6 +116,10 @@ class ClusterConfig:
     #: telemetry plane, which drives the per-traversal keep decision). None =
     #: legacy behavior: every recorded event is retained.
     trace_sampling: Optional[SamplingPolicy] = None
+    #: knobs for online shard migrations (:mod:`repro.rebalance`); None uses
+    #: the defaults. The migrator itself is always wired — migrations only
+    #: run when :meth:`Cluster.rebalance` or the rebalancer loop asks.
+    migration: Optional[MigrationConfig] = None
 
     def engine_options(self) -> EngineOptions:
         if isinstance(self.engine, EngineOptions):
@@ -133,6 +141,8 @@ class Cluster:
         board: StatsBoard,
         scheduler: TraversalScheduler,
         supervisor: Optional[RecoverySupervisor] = None,
+        routing: Optional[RoutingTable] = None,
+        migrator: Optional[ShardMigrator] = None,
     ):
         self.config = config
         self.runtime = runtime
@@ -143,6 +153,10 @@ class Cluster:
         self.board = board
         self.scheduler = scheduler
         self.supervisor = supervisor
+        self.routing = routing
+        self.migrator = migrator
+        #: the policy loop, once ``start_rebalancer`` has been called
+        self.rebalancer: Optional[Rebalancer] = None
 
     @property
     def journal(self):
@@ -180,6 +194,9 @@ class Cluster:
             config.partitioner, config.nservers, graph=graph, salt=config.partition_salt
         )
         assignment = partitioner.assign(graph)
+        # every routing decision in the cluster goes through the versioned
+        # table so shard migrations can move ownership under live traffic
+        routing = RoutingTable(partitioner.owner, config.nservers)
         registry = TravelRegistry()
         board = StatsBoard(opts.kind)
         lsm_config = LSMConfig(
@@ -203,6 +220,21 @@ class Cluster:
                             (label, vid, eprops)
                         )
 
+        # migration wire traffic is routed to the ShardMigrator (bound after
+        # the coordinator exists) instead of the engines
+        migration_wire: dict = {"migrator": None}
+
+        def _server_handler(server_id: ServerId, engine):
+            def handler(msg):
+                if isinstance(msg, (MigrateChunk, MigrateAck)):
+                    migrator = migration_wire["migrator"]
+                    if migrator is not None:
+                        migrator.on_message(server_id, msg)
+                    return
+                engine.on_message(msg)
+
+            return handler
+
         servers: list[BackendServer] = []
         for server_id in range(config.nservers):
             ctx = runtime.context(server_id)
@@ -215,8 +247,8 @@ class Cluster:
                     GraphSummary.from_graph(graph, assignment[server_id])
                 )
             engine_cls = SyncServerEngine if opts.kind is EngineKind.SYNC else AsyncServerEngine
-            engine = engine_cls(ctx, store, registry, partitioner.owner, opts, board)
-            runtime.register_handler(server_id, engine.on_message)
+            engine = engine_cls(ctx, store, registry, routing.owner, opts, board)
+            runtime.register_handler(server_id, _server_handler(server_id, engine))
             servers.append(BackendServer(server_id, ctx, store, engine))
 
         if opts.planner != "off":
@@ -244,13 +276,14 @@ class Cluster:
             ctx=runtime.context(config.coordinator_server),
             runtime=runtime,
             registry=registry,
-            owner_fn=partitioner.owner,
+            owner_fn=routing.owner,
             board=board,
             engine_kind=opts.kind,
             config=config.coordinator_config,
             on_complete=_forget,
             planner=planner,
             journal=journal,
+            routing=routing,
         )
         runtime.register_coordinator(coordinator.on_message)
 
@@ -260,6 +293,25 @@ class Cluster:
         scheduler = TraversalScheduler.for_cluster(
             runtime, coordinator, opts.scheduler, config.scheduler_config
         )
+
+        # Online shard rebalancing (repro.rebalance): the migrator moves
+        # vertex ranges between servers while traversals run, pacing its copy
+        # traffic through the scheduler as the low-priority tenant above.
+        migrator = ShardMigrator(
+            runtime,
+            routing,
+            servers,
+            scheduler,
+            coordinator,
+            board,
+            config.migration,
+            graph=graph,
+            partition_vids=[set(assignment[s]) for s in range(config.nservers)],
+            journal=journal,
+            forget=_forget,
+            host=config.coordinator_server,
+        )
+        migration_wire["migrator"] = migrator
 
         # Observability wiring: spans timestamp off the runtime clock, and a
         # pull collector turns the push-free layers (storage, network) into
@@ -315,7 +367,8 @@ class Cluster:
         supervisor: Optional[RecoverySupervisor] = None
         if journal is not None:
             supervisor = RecoverySupervisor(
-                runtime, coordinator, scheduler, journal, channel=channel
+                runtime, coordinator, scheduler, journal, channel=channel,
+                migrator=migrator,
             )
 
         # The live telemetry plane (DESIGN.md §14). Wired LAST so its
@@ -380,6 +433,10 @@ class Cluster:
             metrics.set_gauge("sched.queue_depth", scheduler.queue_depth)
             metrics.set_gauge("sched.inflight", scheduler.inflight_count)
             metrics.set_gauge("coord.epoch", coordinator.epoch)
+            metrics.set_gauge("rebalance.routing_version", routing.version)
+            metrics.set_gauge("rebalance.active", migrator.active_count)
+            metrics.set_gauge("rebalance.dual_vertices", routing.dual_count)
+            metrics.set_gauge("rebalance.overrides", routing.override_count)
             if journal is not None:
                 metrics.set_gauge("journal.size_bytes", journal.size_bytes())
                 metrics.set_gauge("journal.records", journal.records_appended)
@@ -391,7 +448,7 @@ class Cluster:
             config.interference.bind_metrics(obs.metrics)
         return cls(
             config, runtime, partitioner, servers, coordinator, registry, board,
-            scheduler, supervisor,
+            scheduler, supervisor, routing, migrator,
         )
 
     # -- client API (paper §IV-A: submit the whole GTravel instance) ------------
@@ -489,6 +546,66 @@ class Cluster:
         with self.runtime.exclusive(self.config.coordinator_server):
             return self.coordinator.progress(travel_id)
 
+    # -- elastic scale-out (repro.rebalance) ---------------------------------
+
+    def rebalance(
+        self,
+        src: ServerId,
+        dst: ServerId,
+        *,
+        vids=None,
+        key_range: Optional[tuple[int, int]] = None,
+        wait: bool = True,
+    ):
+        """Migrate a vertex set (or ``[lo, hi)`` key range) from ``src`` to
+        ``dst`` while traversals run. With ``wait=True`` (default) the
+        simulation runs until the migration is terminal and the
+        :class:`~repro.rebalance.migrate.MigrationState` is returned —
+        check ``state.phase`` (``done`` / ``aborted``). With ``wait=False``
+        returns ``(mid, completion event)`` immediately."""
+        with self.runtime.exclusive(self.config.coordinator_server):
+            mid, event = self.migrator.migrate(
+                src, dst, vids=vids, key_range=key_range
+            )
+        if not wait:
+            return mid, event
+        return self.runtime.run_until_complete(event)
+
+    def start_rebalancer(
+        self, config: Optional[RebalancerConfig] = None
+    ) -> Rebalancer:
+        """Start the closed-loop rebalancer: it samples the hot-shard report
+        every ``config.interval`` seconds and migrates ranges off flagged
+        servers. Requires the telemetry plane."""
+        if self.board.obs.telemetry is None:
+            raise TelemetryDisabled("start_rebalancer()")
+        telemetry = self.board.obs.telemetry
+        nservers = self.config.nservers
+
+        # lock-free report/load sampling: the rebalancer loop runs *inside*
+        # the coordinator's context, where taking runtime.exclusive would
+        # self-deadlock on the threaded runtime (same discipline as the
+        # coordinator's watchdog)
+        def report_fn():
+            return telemetry.hot_shards(
+                self.coordinator.inflight_by_server(), nservers
+            )
+
+        def loads_fn():
+            return {
+                s.server_id: sorted(s.store.local_vertices())
+                for s in self.servers
+            }
+
+        rebalancer = Rebalancer(self.migrator, report_fn, loads_fn, config)
+        self.rebalancer = rebalancer
+        rebalancer.start()
+        return rebalancer
+
+    def stop_rebalancer(self) -> None:
+        if self.rebalancer is not None:
+            self.rebalancer.stop()
+
     # -- observability -------------------------------------------------------------
 
     @property
@@ -526,12 +643,13 @@ class Cluster:
         return [] if slo is None else slo.alert_log_payload()
 
     def hot_shard_report(self):
-        """Ranked per-server load skew (rate + in-flight) right now."""
+        """Ranked per-server load skew (rate + in-flight) right now.
+
+        Raises the typed :class:`~repro.errors.TelemetryDisabled` when the
+        cluster was built with ``telemetry_enabled=False``."""
         telemetry = self.board.obs.telemetry
         if telemetry is None:
-            raise SimulationError(
-                "hot_shard_report() requires telemetry_enabled=True"
-            )
+            raise TelemetryDisabled("hot_shard_report()")
         with self.runtime.exclusive(self.config.coordinator_server):
             inflight = self.coordinator.inflight_by_server()
         return telemetry.hot_shards(inflight, self.config.nservers)
@@ -739,15 +857,18 @@ class Cluster:
     # -- live updates (the metadata store ingests production data in real time) ----
 
     def ingest_vertex(self, vid: int, vtype: str, props: Optional[dict] = None) -> None:
-        """Insert a vertex through the owning server's storage engine."""
-        owner = self.partitioner.owner(vid)
+        """Insert a vertex through the owning server's storage engine.
+
+        Ownership is resolved through the routing table, so ingest lands on
+        the post-migration owner of a rebalanced key."""
+        owner = self.routing.owner(vid)
         self.servers[owner].store.insert_vertex(vid, vtype, dict(props or {}))
 
     def ingest_edge(
         self, src: int, dst: int, label: str, props: Optional[dict] = None
     ) -> None:
         """Insert an out-edge on the source vertex's owning server."""
-        owner = self.partitioner.owner(src)
+        owner = self.routing.owner(src)
         if not self.servers[owner].store.has_vertex(src):
             raise SimulationError(f"edge source {src} has not been ingested")
         self.servers[owner].store.insert_edge(src, dst, label, dict(props or {}))

@@ -159,6 +159,7 @@ class Coordinator:
         planner: Optional[QueryPlanner] = None,
         on_terminal: Optional[Callable[[TravelId, str], None]] = None,
         journal: Optional[TraversalJournal] = None,
+        routing=None,
     ):
         self.ctx = ctx
         self.runtime = runtime
@@ -177,6 +178,10 @@ class Coordinator:
         self.on_terminal = on_terminal
         #: durable WAL of state transitions; None runs journal-free (legacy)
         self.journal = journal
+        #: versioned routing table (repro.rebalance); when set, level-0
+        #: dispatch consults ``routing.owners`` so vertices inside a
+        #: migration's double-routing window go to *both* owners
+        self.routing = routing
         #: coordinator incarnation; bumped by ``begin_epoch`` on recovery and
         #: stamped on every outbound message for fencing
         self.epoch = 0
@@ -292,7 +297,15 @@ class Coordinator:
     def _source_groups(self, plan: TraversalPlan) -> dict[ServerId, list[VertexId]]:
         groups: dict[ServerId, list[VertexId]] = {}
         for vid in plan.source_ids or ():
-            groups.setdefault(self.owner_fn(vid), []).append(vid)
+            if self.routing is not None:
+                # double-routing: a vertex mid-migration dispatches to both
+                # its source and target; set-union result merging (async)
+                # and per-vid batch merging (sync) dedupe downstream
+                owners = self.routing.owners(vid)
+            else:
+                owners = (self.owner_fn(vid),)
+            for server in owners:
+                groups.setdefault(server, []).append(vid)
         return groups
 
     def _dispatch_async(self, at: ActiveTravel) -> None:

@@ -110,6 +110,13 @@ class JournalState:
     queued: dict[int, dict] = field(default_factory=dict)
     running: dict[int, dict] = field(default_factory=dict)
     terminals: dict[str, int] = field(default_factory=dict)
+    #: live shard migrations: mid -> latest ``migration`` record (terminal
+    #: records — ``aborted`` — remove the entry; ``done`` stays so recovery
+    #: can idempotently re-apply its ownership override)
+    migrations: dict[int, dict] = field(default_factory=dict)
+    #: highest routing-table version any migration record carried; recovery
+    #: restores the table past it so versions stay monotonic across crashes
+    routing_version: int = 0
 
     def note_travel_id(self, travel_id: int) -> None:
         if travel_id + 1 > self.next_travel_id:
@@ -122,6 +129,8 @@ class JournalState:
             "queued": dict(self.queued),
             "running": dict(self.running),
             "terminals": dict(self.terminals),
+            "migrations": dict(self.migrations),
+            "routing_version": self.routing_version,
         }
 
     @classmethod
@@ -132,6 +141,8 @@ class JournalState:
             queued=dict(payload.get("queued", {})),
             running=dict(payload.get("running", {})),
             terminals=dict(payload.get("terminals", {})),
+            migrations=dict(payload.get("migrations", {})),
+            routing_version=payload.get("routing_version", 0),
         )
 
 
@@ -152,6 +163,9 @@ class TraversalJournal:
     ``progress``  batched exec-tracker deltas for a running travel
     ``terminal``  travel finished: tid, status (ok/failed/cancelled)
     ``epoch``     a recovered coordinator started this epoch
+    ``migration`` a shard migration's phase transition: mid, phase
+                  (copy/dual/cutover/done/aborted), src, dst, vids, and
+                  the routing-table version the step commits
     ``checkpoint`` compaction snapshot (written by the journal itself)
     """
 
@@ -234,6 +248,8 @@ class TraversalJournal:
             state.queued = restored.queued
             state.running = restored.running
             state.terminals = restored.terminals
+            state.migrations = restored.migrations
+            state.routing_version = restored.routing_version
         elif kind == "admit":
             tid = record["tid"]
             state.note_travel_id(tid)
@@ -264,5 +280,14 @@ class TraversalJournal:
             state.terminals[status] = state.terminals.get(status, 0) + 1
         elif kind == "epoch":
             state.epoch = record["epoch"]
+        elif kind == "migration":
+            mid = record["mid"]
+            state.routing_version = max(
+                state.routing_version, record.get("version", 0)
+            )
+            if record.get("phase") == "aborted":
+                state.migrations.pop(mid, None)
+            else:
+                state.migrations[mid] = record
         else:
             raise CorruptJournal(f"unknown journal record kind {kind!r}")

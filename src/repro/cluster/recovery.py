@@ -58,12 +58,16 @@ class RecoverySupervisor:
     coordinator + scheduler state from the journal when the host recovers.
     """
 
-    def __init__(self, runtime, coordinator, scheduler, journal, channel=None):
+    def __init__(
+        self, runtime, coordinator, scheduler, journal, channel=None,
+        migrator=None,
+    ):
         self.runtime = runtime
         self.coordinator = coordinator
         self.scheduler = scheduler
         self.journal = journal
         self.channel = channel
+        self.migrator = migrator
         self.metrics = coordinator.metrics
         self.trace = coordinator.trace
         self._bindings: dict[TravelId, ClientBinding] = {}
@@ -116,6 +120,8 @@ class RecoverySupervisor:
         self.scheduler.on_host_crash()
         if self.channel is not None:
             self.channel.on_coordinator_crash()
+        if self.migrator is not None:
+            self.migrator.on_coordinator_crash()
 
     # -- recovery side -------------------------------------------------------
 
@@ -138,6 +144,12 @@ class RecoverySupervisor:
             # kept queueing dead-epoch frames while the host was down, and
             # the fence will never ack them
             self.channel.on_coordinator_crash()
+
+        # re-establish shard ownership BEFORE any traversal resumes: every
+        # resumed dispatch routes through the rebuilt table, so committed
+        # cutovers stay committed and half-done migrations roll back first
+        if self.migrator is not None:
+            self.migrator.recover(dict(state.migrations))
 
         # pre-crash composite children are not resumed: the parent restarts
         # its (deterministic) program from scratch, so dispose of them and

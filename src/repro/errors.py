@@ -135,6 +135,56 @@ class TraversalCancelled(TraversalError):
         self.reason = reason
 
 
+class TelemetryDisabled(ReproError):
+    """An operation needs the live telemetry plane, but the cluster was
+    built with ``telemetry_enabled=False``.
+
+    Carries the ``operation`` that was attempted so automation (the
+    rebalancer policy loop subscribes to ``hot_shard_report()``) can
+    distinguish "misconfigured cluster" from a transient failure.
+    """
+
+    def __init__(self, operation: str):
+        super().__init__(
+            f"{operation} requires the telemetry plane; build the cluster "
+            "with telemetry_enabled=True"
+        )
+        self.operation = operation
+
+
+class RebalanceError(ReproError):
+    """Raised by the shard-migration subsystem (:mod:`repro.rebalance`) for
+    invalid migration requests or unrecoverable migration failures.
+
+    Carries the migration id (``mid``, None for pre-admission validation
+    failures) and a human-readable ``reason``.
+    """
+
+    def __init__(self, reason: str, mid=None):
+        super().__init__(
+            f"migration {mid} failed: {reason}" if mid is not None else reason
+        )
+        self.mid = mid
+        self.reason = reason
+
+
+class StaleRoutingVersion(RebalanceError):
+    """A migration-protocol action carried a routing-table version that is
+    no longer current — the dispatch is fenced, never applied.
+
+    Carries the ``expected`` (current) and ``got`` (stale) versions.
+    """
+
+    def __init__(self, expected: int, got: int, what: str = "dispatch"):
+        super().__init__(
+            f"stale routing version for {what}: got v{got}, table is at "
+            f"v{expected}"
+        )
+        self.expected = expected
+        self.got = got
+        self.what = what
+
+
 class RuntimeUnavailable(ReproError):
     """Raised when an operation requires a runtime feature that is absent."""
 

@@ -255,6 +255,9 @@ class ChaosManyOutcome:
     leaked: list[str]
     baseline_horizon: float
     net_counters: dict = field(default_factory=dict)
+    #: terminal MigrationState of the concurrent migration (``migrate=True``
+    #: runs only); its phase is ``done`` or ``aborted`` — both are clean
+    migration_state: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -277,6 +280,8 @@ def chaos_check_many(
     reliable: bool = True,
     max_drop: float = 0.12,
     max_duplicate: float = 0.10,
+    migrate: bool = False,
+    migration=None,
 ) -> ChaosManyOutcome:
     """The concurrent variant of :func:`chaos_check`: submit every query at
     once through the admission scheduler, under one sampled fault plan.
@@ -292,6 +297,14 @@ def chaos_check_many(
     cancellation, and the cluster must hold zero scheduler/coordinator/
     registry state once every completion event has resolved
     (``ChaosManyOutcome.leaked``).
+
+    ``migrate=True`` additionally races an online shard migration
+    (half of server 1's vertices → server 2, knobs from ``migration``)
+    against the workload: the same per-query contract must hold while
+    ownership moves, the migration must reach a clean terminal phase
+    (``done``, or ``aborted`` under fatal faults — never wedged), every
+    migrated vertex must end up owned by exactly one server that actually
+    holds it, and the migrator must leak no per-migration state.
     """
     deadlines = deadlines if deadlines is not None else [None] * len(queries)
     tenants = tenants if tenants is not None else ["default"] * len(queries)
@@ -331,7 +344,8 @@ def chaos_check_many(
             reliable=reliable,
             coordinator_config=chaos_coordinator_config(horizon),
             scheduler_config=scheduler_config,
-            journal=crash_coordinator,
+            journal=crash_coordinator or migrate,
+            migration=migration,
         ),
     )
     cluster.cold_start()
@@ -339,6 +353,13 @@ def chaos_check_many(
         cluster.submit(query, tenant=tenant, deadline=deadline)
         for query, tenant, deadline in zip(queries, tenants, deadlines)
     ]
+
+    mig_event = None
+    mig_vids: tuple = ()
+    if migrate:
+        local = sorted(cluster.servers[1].store.local_vertices())
+        mig_vids = tuple(local[: max(1, len(local) // 2)])
+        _, mig_event = cluster.rebalance(1, 2, vids=mig_vids, wait=False)
 
     verdicts: list[QueryVerdict] = []
     for i, (travel_id, event) in enumerate(submissions):
@@ -366,6 +387,10 @@ def chaos_check_many(
             )
         )
 
+    migration_state = None
+    if mig_event is not None:
+        migration_state = cluster.runtime.run_until_complete(mig_event)
+
     leaked: list[str] = []
     if cluster.scheduler.queue_depth:
         leaked.append(f"scheduler queue depth {cluster.scheduler.queue_depth}")
@@ -382,6 +407,31 @@ def chaos_check_many(
         leaked.append(
             f"recovery supervisor bindings {cluster.supervisor.live_bindings}"
         )
+    if migrate:
+        if migration_state is None or migration_state.phase not in (
+            "done",
+            "aborted",
+        ):
+            leaked.append(
+                "migration never reached a terminal phase: "
+                f"{getattr(migration_state, 'phase', None)}"
+            )
+        leaked.extend(cluster.migrator.leaked_state())
+        # ownership consistency: every migrated vertex is owned by exactly
+        # one server, and that server actually holds its data
+        for vid in mig_vids:
+            owner = cluster.routing.owner(vid)
+            if not cluster.servers[owner].store.has_vertex(vid):
+                leaked.append(f"vertex {vid} lost: owner {owner} lacks it")
+            holders = [
+                s
+                for s in range(nservers)
+                if s != owner and cluster.servers[s].store.has_vertex(vid)
+            ]
+            if holders:
+                leaked.append(
+                    f"vertex {vid} duplicated: owner {owner}, extra {holders}"
+                )
     counters = _net_counters(cluster.metrics_snapshot())
     cluster.shutdown()
     return ChaosManyOutcome(
@@ -392,4 +442,5 @@ def chaos_check_many(
         leaked=leaked,
         baseline_horizon=horizon,
         net_counters=counters,
+        migration_state=migration_state,
     )

@@ -147,6 +147,48 @@ class ReplayExec(Message):
     attempt: int = 0
 
 
+# -- shard migration data plane (repro.rebalance) ----------------------------
+
+
+@dataclass
+class MigrateChunk(Message):
+    """One batch of a shard migration's snapshot copy: raw KV pairs for a
+    handful of vertices (attributes, grouped edges, and the ``~label``
+    reverse-adjacency region), shipped source → target.
+
+    ``travel_id`` carries the migration id (a disjoint id space), so the
+    reliable channel and fault injector treat migration traffic exactly
+    like traversal traffic. ``routing_version`` is the routing-table
+    version the migration started under; the receiver fences chunks from
+    a superseded migration. Imports are idempotent: the migrator dedupes
+    by ``(mid, seq)``, so duplicated or re-sent chunks apply once.
+    """
+
+    mid: int = 0
+    seq: int = 0
+    #: raw KV pairs, exactly as exported from the source store
+    pairs: tuple = ()
+    #: (vertex id, namespace) location-index entries for the chunk
+    meta: tuple = ()
+    routing_version: int = 0
+    from_server: ServerId = -1
+
+    @property
+    def nbytes(self) -> int:
+        payload = sum(len(k) + len(v) for k, v in self.pairs)
+        return _HEADER_BYTES + payload + 16 * len(self.meta)
+
+
+@dataclass
+class MigrateAck(Message):
+    """Target's acknowledgement that chunk ``seq`` of migration ``mid`` is
+    durably applied (or was already applied — acks are idempotent too)."""
+
+    mid: int = 0
+    seq: int = 0
+    server: ServerId = -1
+
+
 # -- synchronous engine control plane ---------------------------------------
 
 

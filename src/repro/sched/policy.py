@@ -58,11 +58,12 @@ class PriorityPolicy(SchedPolicy):
     name = "priority"
 
     def key(self, entry: "QueuedTravel") -> tuple:
-        priority = (
-            entry.priority
-            if entry.priority is not None
-            else entry.plan.final_level
-        )
+        if entry.priority is not None:
+            priority = entry.priority
+        elif entry.plan is not None:
+            priority = entry.plan.final_level
+        else:
+            priority = 0  # plan-less jobs (migration chunks) set priority
         return (priority, entry.seq)
 
 
@@ -95,7 +96,7 @@ class WfqPolicy(SchedPolicy):
         return weight
 
     def key(self, entry: "QueuedTravel") -> tuple:
-        cost = float(entry.plan.final_level + 1)
+        cost = 1.0 if entry.plan is None else float(entry.plan.final_level + 1)
         start = max(self._virtual, self._finish.get(entry.tenant, 0.0))
         finish = start + cost / self.weight_of(entry.tenant)
         self._finish[entry.tenant] = finish

@@ -69,10 +69,11 @@ class SchedulerConfig:
 
 @dataclass
 class QueuedTravel:
-    """One admitted traversal, queued or in flight."""
+    """One admitted traversal (or plan-less job), queued or in flight."""
 
     travel_id: TravelId
-    plan: TraversalPlan
+    #: ``None`` for jobs — non-traversal work admitted via ``submit_job``
+    plan: Optional[TraversalPlan]
     tenant: str
     priority: Optional[int]
     client_event: Any
@@ -83,6 +84,8 @@ class QueuedTravel:
     #: WFQ start tag (set by the policy at admission)
     vft_start: float = 0.0
     state: str = "queued"  # queued | running | done | cancelled
+    #: job entries: zero-arg callable returning the generator to run
+    job: Optional[Callable[[], Any]] = None
 
 
 class TraversalScheduler:
@@ -220,6 +223,53 @@ class TraversalScheduler:
         )
         self._pump()
         return travel_id, event
+
+    def submit_job(
+        self,
+        job: Callable[[], Any],
+        *,
+        tenant: str = "rebalance",
+        priority: Optional[int] = None,
+    ):
+        """Admit a plan-less *job* — a zero-arg callable returning a
+        generator to run on the coordinator context. Jobs flow through the
+        same policy key, launch-order heap, in-flight caps, backpressure,
+        and per-tenant quotas as traversals, which is exactly the point:
+        shard-migration copy traffic submits here as a low-priority tenant
+        so bulk data movement queues behind interactive traversals.
+
+        Returns ``(job_id, completion event)``; the event succeeds with
+        ``True`` or fails with whatever the generator raised. Jobs are not
+        journaled (a migration journals its own phase records) and bypass
+        ``max_pending`` — callers submit serially, one chunk at a time.
+        """
+        now = self._ctx.now()
+        job_id = self.coordinator.allocate_travel_id()
+        event = self.runtime.completion_event()
+        entry = QueuedTravel(
+            travel_id=job_id,
+            plan=None,
+            tenant=tenant,
+            priority=priority,
+            client_event=event,
+            admit_time=now,
+            seq=next(self._seq),
+            job=job,
+        )
+        entry.key = self.policy.key(entry)
+        self._queued[job_id] = entry
+        heapq.heappush(self._heap, (entry.key, entry.seq, job_id))
+        self.metrics.count("sched.submitted", tenant=tenant)
+        self.trace.record(
+            "sched.submit",
+            travel_id=job_id,
+            server_id=self._ctx.server_id,
+            tenant=tenant,
+            policy=self.policy.name,
+            steps=0,
+        )
+        self._pump()
+        return job_id, event
 
     # -- cancellation -------------------------------------------------------
 
@@ -378,6 +428,11 @@ class TraversalScheduler:
             tenant=entry.tenant,
             wait=wait,
         )
+        if entry.job is not None:
+            self._ctx.spawn(
+                self._run_job(entry), name=f"job-{entry.travel_id}"
+            )
+            return
         if self.journal is not None:
             self.journal.append("launch", tid=entry.travel_id, tenant=entry.tenant)
         self.coordinator.submit(
@@ -386,6 +441,27 @@ class TraversalScheduler:
             client_event=entry.client_event,
             submit_time=entry.admit_time,
         )
+
+    def _run_job(self, entry: QueuedTravel):
+        """Run a job entry's generator on the coordinator context and settle
+        its completion event. Runs as coordinator-hosted in-process code, so
+        no ``exclusive`` lock is taken here (same discipline as the
+        coordinator's own processes)."""
+        failure: Optional[Exception] = None
+        try:
+            yield from entry.job()
+        except Exception as exc:  # noqa: BLE001 - job outcome, reported below
+            failure = exc
+        if entry.travel_id not in self._inflight:
+            return  # crashed / cancelled while running; events re-settled elsewhere
+        self._on_travel_terminal(
+            entry.travel_id, "failed" if failure is not None else "ok"
+        )
+        if not entry.client_event.triggered:
+            if failure is not None:
+                entry.client_event.fail(failure)
+            else:
+                entry.client_event.succeed(True)
 
     # -- token buckets ------------------------------------------------------
 

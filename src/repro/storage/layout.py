@@ -167,6 +167,59 @@ class GraphStore:
         del self._ns_of[vid]
         self._by_type[ns].remove(vid)
 
+    # -- shard migration (repro.rebalance) ---------------------------------
+
+    def export_vertices(
+        self, vids: Iterable[VertexId]
+    ) -> tuple[tuple[tuple[bytes, bytes], ...], tuple[tuple[VertexId, str], ...]]:
+        """Snapshot every KV pair belonging to ``vids`` for migration.
+
+        Returns ``(pairs, meta)``: the raw key/value pairs (attributes,
+        edges in whatever layout this store uses, and the ``~label``
+        reverse-adjacency region) plus the ``(vid, namespace)`` entries the
+        importing store needs for its location index. Raises
+        :class:`~repro.errors.KeyNotFound` for a vertex this store does not
+        own — the migrator validates ownership before exporting.
+        """
+        pairs: list[tuple[bytes, bytes]] = []
+        meta: list[tuple[VertexId, str]] = []
+        for vid in vids:
+            ns = self._require_ns(vid)
+            fwd, _ = self.kv.scan_prefix(enc.vertex_prefix(ns, vid))
+            rev, _ = self.kv.scan_prefix(enc.vertex_prefix("~" + ns, vid))
+            pairs.extend(fwd)
+            pairs.extend(rev)
+            meta.append((vid, ns))
+        return tuple(pairs), tuple(meta)
+
+    def import_vertices(
+        self,
+        pairs: Iterable[tuple[bytes, bytes]],
+        meta: Iterable[tuple[VertexId, str]],
+    ) -> int:
+        """Apply an exported chunk (memtable path). Idempotent: re-importing
+        puts identical values under identical keys, and already-indexed
+        vertices are not double-indexed. Returns newly indexed vertices."""
+        for key, value in pairs:
+            self.kv.put(key, value)
+        added = 0
+        for vid, ns in meta:
+            if vid not in self._ns_of:
+                self._index_vertex(vid, ns)
+                added += 1
+        return added
+
+    def drop_vertices(self, vids: Iterable[VertexId]) -> int:
+        """Remove migrated vertices (attributes, edges, reverse region).
+        Vertices this store does not hold are skipped, so the post-cutover
+        source drop is idempotent. Returns how many were dropped."""
+        dropped = 0
+        for vid in vids:
+            if vid in self._ns_of:
+                self.delete_vertex(vid)
+                dropped += 1
+        return dropped
+
     # -- reads -------------------------------------------------------------
 
     def has_vertex(self, vid: VertexId) -> bool:

@@ -1,0 +1,136 @@
+"""Unit tests for the versioned routing table: the single source of truth
+for vertex ownership during an online shard migration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RebalanceError, ReproError, StaleRoutingVersion
+from repro.rebalance import RoutingTable
+
+
+def make_table(nservers=3):
+    # base partitioner: round-robin by vertex id
+    return RoutingTable(lambda vid: vid % nservers, nservers)
+
+
+# -- version monotonicity ------------------------------------------------------
+
+
+def test_every_mutation_bumps_the_version_monotonically():
+    t = make_table()
+    versions = [t.version]
+    versions.append(t.begin_dual([0, 3], src=0, dst=1))
+    versions.append(t.cutover([0, 3], dst=1))
+    versions.append(t.begin_dual([6], src=0, dst=2))
+    versions.append(t.abort_dual([6]))
+    assert versions == sorted(versions)
+    assert len(set(versions)) == len(versions), "a mutation reused a version"
+    assert t.version == versions[-1]
+
+
+def test_restore_version_never_goes_backwards():
+    t = make_table()
+    t.begin_dual([0], src=0, dst=1)
+    t.cutover([0], dst=1)
+    high = t.version
+    t.restore_version(high + 5)
+    assert t.version == high + 6
+    t.restore_version(0)  # stale floor: no-op
+    assert t.version == high + 6
+
+
+def test_crash_then_restore_stays_past_journaled_high_water():
+    """The crash-consistency invariant: replaying a journal whose records
+    carry version ``v`` must leave the live table strictly above ``v``, so
+    any in-flight step stamped pre-crash is fenced, never applied."""
+    t = make_table()
+    t.begin_dual([0, 3], src=0, dst=1)
+    journaled = t.cutover([0, 3], dst=1)
+    t.on_coordinator_crash()
+    assert t.dual_count == 0 and t.override_count == 0
+    t.apply_override([0, 3], dst=1)  # recovery: no bump
+    t.restore_version(journaled)
+    assert t.version > journaled
+    assert t.owner(0) == 1 and t.owner(3) == 1
+
+
+# -- stale-version fencing -----------------------------------------------------
+
+
+def test_require_current_fences_stale_and_future_versions():
+    t = make_table()
+    good = t.version
+    t.require_current(good)  # no raise
+    t.begin_dual([0], src=0, dst=1)
+    with pytest.raises(StaleRoutingVersion) as excinfo:
+        t.require_current(good, what="chunk apply")
+    err = excinfo.value
+    assert isinstance(err, RebalanceError) and isinstance(err, ReproError)
+    assert err.expected == t.version and err.got == good
+    assert "chunk apply" in str(err)
+
+
+# -- double routing ------------------------------------------------------------
+
+
+def test_dual_window_routes_to_both_with_source_primary():
+    t = make_table()
+    assert t.owners(3) == (0,)
+    t.begin_dual([3], src=0, dst=2)
+    assert t.owners(3) == (0, 2), "dual window must dispatch to both owners"
+    assert t.owner(3) == 0, "source stays primary until cutover"
+    t.cutover([3], dst=2)
+    assert t.owners(3) == (2,)
+    assert t.owner(3) == 2
+
+
+def test_abort_dual_reverts_to_pre_window_ownership():
+    t = make_table()
+    t.begin_dual([0, 3], src=0, dst=1)
+    t.cutover([0, 3], dst=1)
+    # second hop: 1 -> 2, aborted
+    t.begin_dual([0], src=1, dst=2)
+    assert t.owners(0) == (1, 2)
+    t.abort_dual([0])
+    assert t.owners(0) == (1,), "abort must revert to the committed owner"
+    assert t.owner(3) == 1, "unrelated override untouched"
+
+
+def test_cutover_back_to_base_owner_clears_the_override():
+    t = make_table()
+    t.begin_dual([3], src=0, dst=1)
+    t.cutover([3], dst=1)
+    assert t.override_count == 1
+    t.begin_dual([3], src=1, dst=0)
+    t.cutover([3], dst=0)  # home again: base_owner(3) == 0
+    assert t.override_count == 0, "an override matching the base is noise"
+    assert t.owner(3) == 0
+
+
+# -- admission validation ------------------------------------------------------
+
+
+def test_begin_dual_rejects_bad_moves():
+    t = make_table()
+    with pytest.raises(RebalanceError, match="source and target"):
+        t.begin_dual([0], src=1, dst=1)
+    with pytest.raises(RebalanceError, match="out of range"):
+        t.begin_dual([0], src=0, dst=7)
+    with pytest.raises(RebalanceError, match="owned by server"):
+        t.begin_dual([1], src=0, dst=2)  # vertex 1 belongs to server 1
+    t.begin_dual([0], src=0, dst=1)
+    with pytest.raises(RebalanceError, match="already migrating"):
+        t.begin_dual([0], src=0, dst=2)
+    # failed admissions must not have half-opened a window
+    assert t.dual_count == 1
+
+
+def test_cutover_requires_a_matching_window():
+    t = make_table()
+    with pytest.raises(RebalanceError, match="no double-routing window"):
+        t.cutover([0], dst=1)
+    t.begin_dual([0], src=0, dst=1)
+    with pytest.raises(RebalanceError, match="no double-routing window"):
+        t.cutover([0], dst=2)  # window targets 1, not 2
+    assert t.owners(0) == (0, 1), "failed cutover left the window intact"

@@ -220,14 +220,20 @@ def test_cluster_hot_shard_report_ranks_the_loaded_server(kind):
 
 
 def test_hot_shard_report_requires_telemetry():
-    from repro.errors import SimulationError
+    from repro.errors import ReproError, TelemetryDisabled
 
     graph, vids = small_graph()
     cluster = build_cluster(
         graph, EngineKind.SYNC, nservers=2, telemetry_enabled=False
     )
     assert cluster.telemetry is None
-    with pytest.raises(SimulationError):
+    with pytest.raises(TelemetryDisabled) as excinfo:
         cluster.hot_shard_report()
+    # typed: catchable as the library base error, and self-describing
+    assert isinstance(excinfo.value, ReproError)
+    assert excinfo.value.operation == "hot_shard_report()"
+    assert "telemetry_enabled=True" in str(excinfo.value)
+    with pytest.raises(TelemetryDisabled):
+        cluster.start_rebalancer()
     # rollups degrade to an empty-shaped payload instead of raising
     assert cluster.rollups()["counters"] == {}
