@@ -51,6 +51,7 @@ EXPERIMENTS = {
     "lang_ops": lambda env: exp.exp_lang_ops(env),
     "telemetry": lambda env: exp.exp_telemetry(env),
     "rebalance": lambda env: exp.exp_rebalance(env),
+    "columnar": lambda env: exp.exp_columnar(env),
 }
 
 

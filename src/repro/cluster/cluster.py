@@ -73,8 +73,11 @@ class ClusterConfig:
     #: (real OS threads; functional cross-validation — timings are wall clock
     #: and nondeterministic).
     runtime: str = "simulated"
-    #: "grouped" (paper layout: same-label edges contiguous) or
-    #: "interleaved" (generic column layout; the §IV-B ablation baseline).
+    #: "grouped" (paper layout: same-label edges contiguous), "interleaved"
+    #: (generic column layout; the §IV-B ablation baseline), or "columnar"
+    #: (delta/varint-compressed per-(vertex, label) adjacency blocks,
+    #: DESIGN.md §16). Unknown names raise the typed
+    #: :class:`~repro.errors.UnknownEdgeLayout` at build time.
     edge_layout: str = "grouped"
     #: declarative fault injection (drops/dups/delays/crashes); replaces the
     #: raw ``runtime.drop_filter`` hook as the supported injection point.

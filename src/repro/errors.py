@@ -33,6 +33,33 @@ class CorruptCheckpoint(StorageError):
     """
 
 
+class CorruptAdjacencyBlock(StorageError):
+    """A columnar adjacency block failed its integrity check on decode.
+
+    Raised when a block's magic byte is wrong, a varint runs past the end
+    of the buffer, the entry count disagrees with the payload, trailing
+    bytes follow the checksum, or the CRC32 does not match. Decoding fails
+    loudly rather than surfacing a silently-garbled neighbor list.
+    """
+
+
+class UnknownEdgeLayout(StorageError):
+    """An ``edge_layout`` name is not one of the registered layouts.
+
+    Raised at configuration time (GraphStore construction, cluster build,
+    checkpoint restore) so a typo fails with the list of valid names
+    instead of silently running — or restoring — under the default layout.
+    Carries the offending ``name`` and the valid ``choices``.
+    """
+
+    def __init__(self, name: object, choices: tuple[str, ...]):
+        super().__init__(
+            f"unknown edge layout {name!r}; valid layouts: {', '.join(choices)}"
+        )
+        self.name = name
+        self.choices = choices
+
+
 class CorruptJournal(StorageError):
     """A traversal-journal record failed its integrity check on replay.
 

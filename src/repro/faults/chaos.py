@@ -79,9 +79,13 @@ def run_fault_free(
     *,
     engine: Union[EngineKind, EngineOptions] = EngineKind.GRAPHTREK,
     nservers: int = 3,
+    edge_layout: str = "grouped",
 ) -> tuple[dict, float]:
     """Baseline run; returns (result sets, virtual duration)."""
-    cluster = Cluster.build(graph, ClusterConfig(nservers=nservers, engine=engine))
+    cluster = Cluster.build(
+        graph,
+        ClusterConfig(nservers=nservers, engine=engine, edge_layout=edge_layout),
+    )
     start = cluster.now
     outcome = cluster.traverse(query)
     duration = cluster.now - start
@@ -100,6 +104,7 @@ def run_under_faults(
     reliable: bool = True,
     trace: bool = False,
     journal: bool = False,
+    edge_layout: str = "grouped",
 ) -> tuple[Optional[dict], Optional[str], dict, Optional[dict]]:
     """One traversal under ``plan``.
 
@@ -117,6 +122,7 @@ def run_under_faults(
         coordinator_config=coordinator_config or CoordinatorConfig(),
         trace_enabled=trace,
         journal=journal,
+        edge_layout=edge_layout,
     )
     cluster = Cluster.build(graph, config)
     returned: Optional[dict] = None
@@ -163,6 +169,7 @@ def chaos_check(
     max_drop: float = 0.12,
     max_duplicate: float = 0.10,
     trace: bool = False,
+    edge_layout: str = "grouped",
 ) -> ChaosOutcome:
     """Run the differential check for one sampled fault plan.
 
@@ -174,8 +181,12 @@ def chaos_check(
     the differential verdict covers journal replay and epoch fencing.
     ``trace=True`` runs the faulty leg with the flight recorder on and
     attaches the reconstructed execution DAG(s) to ``ChaosOutcome.traces``.
+    ``edge_layout`` runs both legs under the named storage layout (the
+    columnar chaos leg of the batch-equivalence suite uses it).
     """
-    baseline, duration = run_fault_free(graph, query, engine=engine, nservers=nservers)
+    baseline, duration = run_fault_free(
+        graph, query, engine=engine, nservers=nservers, edge_layout=edge_layout
+    )
     crash_window = (
         (0.2 * duration, 3.0 * duration) if (crash or crash_coordinator) else None
     )
@@ -199,6 +210,7 @@ def chaos_check(
         reliable=reliable,
         trace=trace,
         journal=crash_coordinator,
+        edge_layout=edge_layout,
     )
     return ChaosOutcome(
         seed=seed,

@@ -35,6 +35,8 @@ _STEP_STATS = (
     "combined",
     "filtered",
     "absorbed",
+    "decoded_blocks",
+    "batch_width",
 )
 
 

@@ -8,8 +8,9 @@ simulated runtime converts to virtual disk time.
 
 from repro.storage.blockcache import BlockCache
 from repro.storage.bloom import BloomFilter
+from repro.storage.columnar import AdjacencyBlock, decode_block, encode_block
 from repro.storage.costmodel import GPFS, LOCAL_DISK, DiskCostModel, IOCost
-from repro.storage.layout import GraphStore
+from repro.storage.layout import EDGE_LAYOUTS, GraphStore, validate_edge_layout
 from repro.storage.lsm import LSMConfig, LSMStats, LSMStore
 from repro.storage.memtable import Memtable, TOMBSTONE
 from repro.storage.persist import (
@@ -21,8 +22,13 @@ from repro.storage.persist import (
 from repro.storage.sstable import SSTable, merge_runs
 
 __all__ = [
+    "AdjacencyBlock",
     "BlockCache",
     "BloomFilter",
+    "EDGE_LAYOUTS",
+    "decode_block",
+    "encode_block",
+    "validate_edge_layout",
     "DiskCostModel",
     "GPFS",
     "LOCAL_DISK",

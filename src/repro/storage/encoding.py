@@ -24,6 +24,11 @@ from repro.errors import StorageError
 _SEP = b"\x00"
 _VPREFIX = b"V"
 _ATTR = b"A"
+#: columnar adjacency blocks: one value per (vertex, label). 'A' < 'B' < 'E'
+#: keeps the block region inside the vertex prefix (so whole-vertex scans,
+#: deletes, and migration exports cover it) but disjoint from both the
+#: attribute and the entry-per-edge regions.
+_BLOCK = b"B"
 _EDGE = b"E"
 
 _Q = struct.Struct(">Q")
@@ -167,6 +172,42 @@ def edges_prefix(namespace: str, vid: int, label: str) -> bytes:
     if _SEP in raw_label:
         raise StorageError(f"edge label may not contain NUL: {label!r}")
     return vertex_prefix(namespace, vid) + _EDGE + raw_label + _SEP
+
+
+def edge_block_key(namespace: str, vid: int, label: str) -> bytes:
+    """Key of the columnar adjacency block for one (vertex, label)."""
+    raw_label = label.encode("utf-8")
+    if _SEP in raw_label:
+        raise StorageError(f"edge label may not contain NUL: {label!r}")
+    return vertex_prefix(namespace, vid) + _BLOCK + raw_label
+
+
+def edge_blocks_prefix(namespace: str, vid: int) -> bytes:
+    """Prefix covering every columnar adjacency block of one vertex."""
+    return vertex_prefix(namespace, vid) + _BLOCK
+
+
+def parse_edge_block_key(key: bytes) -> tuple[str, int, str]:
+    """Inverse of :func:`edge_block_key`: (namespace, vid, label)."""
+    ns, rest = key.split(_SEP, 1)
+    if rest[:1] != _VPREFIX or rest[9:10] != _BLOCK:
+        raise StorageError(f"not an adjacency-block key: {key!r}")
+    (vid,) = _Q.unpack_from(rest, 1)
+    return ns.decode("utf-8"), vid, rest[10:].decode("utf-8")
+
+
+def vertex_key_tag(key: bytes) -> tuple[str, int, bytes]:
+    """Classify any vertex-region key: (namespace, vid, region tag byte).
+
+    The tag is one of ``b"A"`` (attribute), ``b"B"`` (columnar block), or
+    ``b"E"`` (entry-per-edge record). Used to detect legacy entry-per-edge
+    data arriving at (or restored into) a columnar store.
+    """
+    ns, rest = key.split(_SEP, 1)
+    if rest[:1] != _VPREFIX:
+        raise StorageError(f"not a vertex key: {key!r}")
+    (vid,) = _Q.unpack_from(rest, 1)
+    return ns.decode("utf-8"), vid, rest[9:10]
 
 
 def all_edges_prefix(namespace: str, vid: int) -> bytes:

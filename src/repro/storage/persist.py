@@ -41,7 +41,7 @@ from pathlib import Path
 from typing import Iterator, Type, Union
 
 from repro.errors import CorruptCheckpoint, StorageError
-from repro.storage.layout import GraphStore
+from repro.storage.layout import GraphStore, validate_edge_layout
 from repro.storage.lsm import LSMConfig, LSMStore
 from repro.storage.memtable import TOMBSTONE
 from repro.storage.sstable import SSTable
@@ -239,14 +239,23 @@ def checkpoint_graph_store(gstore: GraphStore, directory: Union[str, Path]) -> P
 def restore_graph_store(
     directory: Union[str, Path], config: Union[LSMConfig, None] = None
 ) -> GraphStore:
-    """Rebuild a server's :class:`GraphStore` from a checkpoint."""
+    """Rebuild a server's :class:`GraphStore` from a checkpoint.
+
+    The recorded layout name is validated: a manifest naming a layout this
+    build does not know raises the typed
+    :class:`~repro.errors.UnknownEdgeLayout` instead of silently restoring
+    under the default. A pre-layout checkpoint (no ``layout`` field) keeps
+    the historical ``"grouped"`` default.
+    """
     directory = Path(directory)
     index_path = directory / "vertex_index.json"
     if not index_path.exists():
         raise StorageError(f"no vertex index in {directory}")
     payload = json.loads(index_path.read_text())
-    gstore = GraphStore(config, edge_layout=payload.get("layout", "grouped"))
+    layout = validate_edge_layout(payload.get("layout", "grouped"))
+    gstore = GraphStore(config, edge_layout=layout)
     gstore.kv = restore_store(directory, config or gstore.kv.config)
     for vid_str, ns in payload["index"].items():
         gstore._index_vertex(int(vid_str), ns)
+    gstore.rebuild_edge_accounting()
     return gstore

@@ -1,0 +1,299 @@
+"""Generative differential suite for columnar storage + batch execution.
+
+This PR's proof obligation: the compressed columnar adjacency layout and the
+batch-vectorized frontier are *representation* changes — they may change how
+bytes are laid out and how frontiers move, never what a traversal returns.
+
+Legs:
+
+* the 10-seed × 3-engine × 3-planner × columnar-on/off × batch-on/off
+  matrix on random graphs/queries, element-identical to the per-vertex
+  reference oracle (itself cross-checked against its batched variant);
+* determinism: re-running an identical (seed, config) pair reproduces the
+  result AND a byte-identical metrics snapshot — the simulated runtime is a
+  pure function of its inputs, columnar or not;
+* a chaos leg: mid-traversal server crash with columnar storage on, results
+  still identical to the fault-free baseline;
+* a rebalance leg: migration chunks export/import columnar blocks
+  losslessly (same edges, same bytes/edge accounting), and a live migration
+  under the columnar layout changes no traversal's result.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engine import EngineKind
+from repro.engine.options import options_for
+from repro.engine.reference import ReferenceEngine
+from repro.faults.chaos import chaos_check
+from repro.graph.builder import PropertyGraph
+from repro.lang.gtravel import GTravel
+from repro.rebalance import MigrationConfig
+from repro.storage import GraphStore, LSMConfig
+
+from tests.conftest import ALL_ENGINES
+
+SEEDS = range(10)
+PLANNERS = ("off", "rules", "cost")
+LAYOUTS = ("grouped", "columnar")
+
+
+def random_graph(rng: random.Random, nvertices: int = 24, nedges: int = 72):
+    g = PropertyGraph()
+    for vid in range(nvertices):
+        g.add_vertex(vid, "node", {"x": vid % 5})
+    for _ in range(nedges):
+        src = rng.randrange(nvertices)
+        dst = rng.randrange(nvertices)
+        g.add_edge(src, dst, rng.choice(("link", "ref")), {"w": rng.randint(0, 3)})
+    return g
+
+
+def random_queries(rng: random.Random, nvertices: int, n: int = 3):
+    queries = []
+    for _ in range(n):
+        q = GTravel.v(rng.randrange(nvertices))
+        for _ in range(rng.randint(1, 3)):
+            q = q.e(rng.choice(("link", "ref")))
+        queries.append(q.compile())
+    return queries
+
+
+def normalize(returned: dict) -> dict:
+    return {lv: frozenset(vids) for lv, vids in returned.items() if vids}
+
+
+def build(graph, engine, planner, layout, batch):
+    return Cluster.build(
+        graph,
+        ClusterConfig(
+            nservers=3,
+            edge_layout=layout,
+            engine=options_for(engine, planner=planner, batch_frontier=batch),
+        ),
+    )
+
+
+# -- the differential matrix --------------------------------------------------
+
+
+@pytest.mark.parametrize("planner", PLANNERS)
+@pytest.mark.parametrize("engine", ALL_ENGINES, ids=lambda e: e.value)
+def test_matrix_element_identical(engine, planner):
+    """10 seeds × columnar-on/off × batch-on/off, every result element-
+    identical to the per-vertex oracle (and the oracle to its batched
+    self)."""
+    for seed in SEEDS:
+        rng = random.Random(seed)
+        graph = random_graph(rng)
+        queries = random_queries(rng, 24)
+        oracle = ReferenceEngine(graph)
+        oracle_batched = ReferenceEngine(graph, batch_frontier=True)
+        for qi, plan in enumerate(queries):
+            expect = normalize(oracle.run(plan).returned)
+            assert expect == normalize(oracle_batched.run(plan).returned), (
+                f"seed {seed} q{qi}: batched oracle diverged"
+            )
+            for layout in LAYOUTS:
+                for batch in (False, True):
+                    cluster = build(graph, engine, planner, layout, batch)
+                    got = normalize(cluster.traverse(plan).result.returned)
+                    assert got == expect, (
+                        f"seed {seed} q{qi} layout={layout} batch={batch}: "
+                        f"{got} != {expect}"
+                    )
+
+
+def test_aggregates_and_short_circuit_batched():
+    """Batch expansion must honor aggregate group keys and the planner's
+    final-step short-circuit, across layouts."""
+    rng = random.Random(99)
+    graph = random_graph(rng)
+    plans = [
+        GTravel.v(1).e("link").count().compile(),
+        GTravel.v(1).e("link").e("ref").group_count("type").compile(),
+        GTravel.v(2).e("ref").group_count("x").compile(),
+    ]
+    for plan in plans:
+        expect = ReferenceEngine(graph).run(plan).aggregate
+        for layout in LAYOUTS:
+            for planner in PLANNERS:
+                cluster = build(
+                    graph, EngineKind.GRAPHTREK, planner, layout, True
+                )
+                got = cluster.traverse(plan).result.aggregate
+                assert got == expect, (layout, planner, got, expect)
+
+
+def test_intermediate_rtn_keeps_per_vertex_path():
+    """Plans with intermediate rtn() are batch-ineligible; turning the flag
+    on must not disturb their anchor semantics."""
+    for seed in (0, 3, 7):
+        rng = random.Random(seed)
+        graph = random_graph(rng)
+        plan = GTravel.v(rng.randrange(24)).e("link").rtn().e("ref").compile()
+        expect = normalize(ReferenceEngine(graph).run(plan).returned)
+        for engine in ALL_ENGINES:
+            for layout in LAYOUTS:
+                cluster = build(graph, engine, "off", layout, True)
+                got = normalize(cluster.traverse(plan).result.returned)
+                assert got == expect, (seed, engine, layout)
+
+
+# -- determinism: byte-identical snapshots across reruns ----------------------
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+@pytest.mark.parametrize("batch", (False, True), ids=("pervertex", "batched"))
+def test_rerun_metrics_byte_identical(layout, batch):
+    """Same (seed, config) twice → same results and a byte-identical
+    metrics snapshot; columnar decode counters included."""
+    rng = random.Random(5)
+    graph = random_graph(rng)
+    plan = random_queries(rng, 24, n=1)[0]
+
+    def one_run():
+        cluster = build(graph, EngineKind.GRAPHTREK, "cost", layout, batch)
+        result = normalize(cluster.traverse(plan).result.returned)
+        snapshot = repr(sorted(cluster.metrics_snapshot()["counters"].items()))
+        storage = repr([s.store.metrics_snapshot() for s in cluster.servers])
+        return result, snapshot, storage
+
+    first, second = one_run(), one_run()
+    assert first[0] == second[0]
+    assert first[1] == second[1], "metric counters differ across reruns"
+    assert first[2] == second[2], "storage snapshots differ across reruns"
+
+
+def test_columnar_decode_counters_move():
+    """Sanity: the columnar path actually decodes blocks (the counters the
+    explain/profile layer attributes per step)."""
+    rng = random.Random(11)
+    graph = random_graph(rng)
+    plan = random_queries(rng, 24, n=1)[0]
+    cluster = build(graph, EngineKind.GRAPHTREK, "off", "columnar", True)
+    cluster.traverse(plan)
+    decoded = sum(s.store.decoded_blocks for s in cluster.servers)
+    assert decoded > 0
+    snap = cluster.servers[0].store.metrics_snapshot()
+    assert "bytes_per_edge" in snap
+
+
+# -- chaos leg: crash mid-traversal with columnar on ---------------------------
+
+
+@pytest.mark.parametrize("batch", (False, True), ids=("pervertex", "batched"))
+def test_chaos_crash_columnar(batch):
+    """A server crash mid-traversal under the columnar layout: the restart
+    must reproduce the fault-free result (or fail cleanly), exactly as the
+    grouped layout's chaos suite guarantees."""
+    rng = random.Random(21)
+    graph = random_graph(rng)
+    plan = GTravel.v(3).e("link").e("ref").e("link").compile()
+    engine = options_for(EngineKind.GRAPHTREK, batch_frontier=batch)
+    ok = 0
+    for seed in range(4):
+        outcome = chaos_check(
+            graph,
+            plan,
+            seed=seed,
+            engine=engine,
+            crash=True,
+            edge_layout="columnar",
+        )
+        assert outcome.matched or outcome.failed_cleanly, (
+            f"seed {seed}: diverged under faults: {outcome.error}"
+        )
+        ok += outcome.matched
+    assert ok >= 2, "crash chaos never completed successfully"
+
+
+# -- rebalance leg: columnar blocks migrate losslessly -------------------------
+
+
+def test_migration_chunks_roundtrip_columnar_blocks():
+    """export_vertices → import_vertices between columnar stores moves the
+    raw blocks losslessly: same adjacency, same bytes/edge accounting."""
+    rng = random.Random(31)
+    graph = random_graph(rng)
+    src = GraphStore(LSMConfig(), edge_layout="columnar")
+    src.load_partition(graph, list(range(24)))
+    dst = GraphStore(LSMConfig(), edge_layout="columnar")
+    vids = list(range(12))
+    pairs, meta = src.export_vertices(vids)
+    assert dst.import_vertices(pairs, meta) == len(vids)
+    for vid in vids:
+        for label in ("link", "ref"):
+            want, _ = src.edges(vid, label)
+            got, _ = dst.edges(vid, label)
+            assert sorted(got, key=repr) == sorted(want, key=repr), (vid, label)
+    src_snap = src.metrics_snapshot()
+    dst_snap = dst.metrics_snapshot()
+    moved_edges = sum(
+        len(src.edges(v, l)[0]) for v in vids for l in ("link", "ref")
+    )
+    assert dst_snap["edge_count"] == moved_edges
+    # the imported representation is the same bytes, so the gauge agrees
+    # with re-encoding from scratch
+    fresh = GraphStore(LSMConfig(), edge_layout="columnar")
+    fresh.load_partition(graph, vids)
+    assert dst_snap["edge_bytes"] == fresh.metrics_snapshot()["edge_bytes"]
+    assert src_snap["edge_count"] >= moved_edges
+
+
+def test_cross_layout_import_reads_merge():
+    """A columnar store absorbing a grouped store's chunk keeps every edge
+    readable (legacy merge path), and a grouped store absorbs columnar-era
+    blocks' vertices' legacy records symmetrically."""
+    rng = random.Random(41)
+    graph = random_graph(rng)
+    grouped = GraphStore(LSMConfig(), edge_layout="grouped")
+    grouped.load_partition(graph, list(range(24)))
+    columnar = GraphStore(LSMConfig(), edge_layout="columnar")
+    pairs, meta = grouped.export_vertices(list(range(24)))
+    columnar.import_vertices(pairs, meta)
+    for vid in range(24):
+        for label in ("link", "ref"):
+            want, _ = grouped.edges(vid, label)
+            got, _ = columnar.edges(vid, label)
+            assert sorted(got, key=repr) == sorted(want, key=repr), (vid, label)
+        want_all, _ = grouped.all_edges(vid)
+        got_all, _ = columnar.all_edges(vid)
+        assert sorted(got_all, key=repr) == sorted(want_all, key=repr), vid
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES, ids=lambda e: e.value)
+def test_live_migration_columnar_identical(engine):
+    """A migration racing a traversal under the columnar layout moves data,
+    never answers (the PR-9 guarantee, extended to the new layout)."""
+    rng = random.Random(51)
+    graph = random_graph(rng)
+    plan = GTravel.v(1).e("link").e("ref").compile()
+    expect = normalize(ReferenceEngine(graph).run(plan).returned)
+    cluster = Cluster.build(
+        graph,
+        ClusterConfig(
+            nservers=3,
+            edge_layout="columnar",
+            engine=options_for(engine, batch_frontier=True),
+            migration=MigrationConfig(chunk_vertices=4, dual_window=0.02),
+            journal=True,
+        ),
+    )
+    _, travel_event = cluster.submit(plan)
+    vids = tuple(sorted(cluster.servers[1].store.local_vertices())[:8])
+    _, mig_event = cluster.rebalance(1, 2, vids=vids, wait=False)
+    outcome = cluster.runtime.run_until_complete(travel_event)
+    state = cluster.runtime.run_until_complete(mig_event)
+    assert normalize(outcome.result.returned) == expect
+    assert state.phase in ("done", "aborted")
+    if state.phase == "done":
+        for vid in vids:
+            assert cluster.servers[2].store.has_vertex(vid)
+    # post-migration reads on the target still serve every migrated block
+    again = cluster.traverse(plan)
+    assert normalize(again.result.returned) == expect
